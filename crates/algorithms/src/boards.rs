@@ -1,0 +1,70 @@
+//! Shared-memory board conventions.
+//!
+//! All algorithms in this reproduction address shared registers through a
+//! small set of namespaces, so independent protocol layers never collide and
+//! verifiers can inspect well-known locations.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::value::Value;
+
+/// Register namespaces (one per protocol layer).
+pub mod ns {
+    /// `INPUT[i]`: C-process `i`'s task input (the §2.2 participation write).
+    pub const INPUT: u16 = 1;
+    /// `DEC[inst]`: decision register of consensus instance `inst`.
+    pub const DECISION: u16 = 2;
+    /// `DBLOCK[inst][p]` and `PROP[inst][p]`: ballot state (Disk-Paxos style).
+    pub const BALLOT: u16 = 3;
+    /// `V`: the §2.2 trivial-advice shared variable.
+    pub const TRIVIAL: u16 = 4;
+    /// `OUT[i]`: output board of the 1-concurrent universal solver.
+    pub const ONE_CONC: u16 = 5;
+    /// `R[i]`: suggestion registers of the Figure-4 renaming algorithm.
+    pub const RENAME: u16 = 6;
+    /// `R[i]`: gate registers of the Figure-3 wrapper.
+    pub const FIG3: u16 = 7;
+    /// Figure-2 simulation boards (managed by `wfa-core`).
+    pub const SIM: u16 = 8;
+    /// Safe-agreement instances of BG-simulation (managed by `wfa-core`).
+    pub const BG: u16 = 9;
+    /// Reduction-layer boards (Figure 1; managed by `wfa-core`).
+    pub const REDUCTION: u16 = 10;
+}
+
+/// `INPUT[i]`: where C-process `i` publishes its input.
+pub fn input_key(i: usize) -> RegKey {
+    RegKey::idx(ns::INPUT, i as u32, 0, 0, 0)
+}
+
+/// The decision register of consensus instance `inst`.
+pub fn decision_key(inst: u32) -> RegKey {
+    RegKey::idx(ns::DECISION, inst, 0, 0, 0)
+}
+
+/// Encodes a decided value so that even a `⊥`-like payload reads as decided.
+pub fn wrap_decision(v: &Value) -> Value {
+    Value::tuple([v.clone()])
+}
+
+/// Decodes [`wrap_decision`]; `None` while the register is unwritten.
+pub fn read_decision(raw: &Value) -> Option<Value> {
+    raw.get(0).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_disjoint_across_namespaces() {
+        assert_ne!(input_key(0), decision_key(0));
+        assert_ne!(input_key(3), input_key(4));
+    }
+
+    #[test]
+    fn decision_wrapping_roundtrips() {
+        let v = Value::Int(0);
+        assert_eq!(read_decision(&wrap_decision(&v)), Some(v));
+        assert_eq!(read_decision(&Value::Unit), None);
+    }
+}

@@ -1,0 +1,370 @@
+//! Leader-based consensus from registers (Appendix C.1 substrate).
+//!
+//! Figure 2 of the paper simulates each step of a code with a *leader-based
+//! consensus* instance `cons_{j,ℓ}`: safety must hold no matter who acts as
+//! leader, and liveness must follow as soon as a single correct process runs
+//! ballots unopposed (which the `→Ωk` advice eventually guarantees). We
+//! implement the shared-memory specialization of Disk Paxos [Gafni-Lamport
+//! 2003] with a single always-available "disk":
+//!
+//! * every potential leader `p` owns a register `dblock[p] = (mbal, bal,
+//!   val)`;
+//! * a ballot `b` (unique per party: `b ≡ p mod parties`) has two phases —
+//!   publish `mbal = b` and collect (abort if a higher `mbal` is seen; else
+//!   adopt the value of the highest `bal`), then publish `(b, b, v)` and
+//!   collect again (abort on higher `mbal`, else decide);
+//! * decisions are published in a write-once decision register that
+//!   non-leaders simply poll.
+//!
+//! Safety is leader-independent (ballot arbitration); only termination needs
+//! the advice. This is the ⚖ "alpha/omega decomposition" decision recorded
+//! in `DESIGN.md`, and the instance is exhaustively model-checked for two
+//! competing leaders in `wfa-modelcheck`'s tests.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+use wfa_objects::driver::{Collect, Driver, Step};
+
+use crate::boards::{self, ns};
+
+/// How a ballot attempt ended.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BallotOutcome {
+    /// The instance decided this value (published in the decision register).
+    Decided(Value),
+    /// A higher ballot interfered; retry with a ballot above `higher` while
+    /// still leader.
+    Aborted {
+        /// The highest competing `mbal` observed.
+        higher: i64,
+    },
+}
+
+fn dblock_key(inst: u32, p: u32) -> RegKey {
+    RegKey::idx(ns::BALLOT, inst, p, 0, 0)
+}
+
+fn dblock_keys(inst: u32, parties: u32) -> Vec<RegKey> {
+    (0..parties).map(|p| dblock_key(inst, p)).collect()
+}
+
+/// Encodes `(mbal, bal, val)`.
+fn dblock(mbal: i64, bal: i64, val: &Value) -> Value {
+    Value::tuple([Value::Int(mbal), Value::Int(bal), val.clone()])
+}
+
+fn dblock_fields(v: &Value) -> Option<(i64, i64, Value)> {
+    Some((v.get(0)?.as_int()?, v.get(1)?.as_int()?, v.get(2)?.clone()))
+}
+
+#[derive(Clone, Hash, Debug)]
+enum Pc {
+    CheckDecision,
+    Phase1Write,
+    Phase1Collect(Collect),
+    Phase2Write { val: Value },
+    Phase2Collect { val: Value, inner: Collect },
+    WriteDecision { val: Value },
+    Done,
+}
+
+/// One ballot attempt by one would-be leader.
+///
+/// The parent automaton constructs an agent when it believes it is the
+/// instance's leader, polls it to completion, and on
+/// [`BallotOutcome::Aborted`] constructs a fresh agent with a higher round
+/// (while still leader). The proposed `value` must be some published task
+/// input (the caller acquires it; validity of the decision is inherited).
+#[derive(Clone, Hash, Debug)]
+pub struct BallotAgent {
+    inst: u32,
+    parties: u32,
+    me: u32,
+    round: u32,
+    value: Value,
+    bal_prev: i64,
+    val_prev: Value,
+    pc: Pc,
+}
+
+impl BallotAgent {
+    /// Party `me` (of `parties`) attempts round `round` of instance `inst`,
+    /// proposing `value` if the instance is still free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= parties` or `value` is `⊥`.
+    pub fn new(inst: u32, parties: u32, me: u32, round: u32, value: Value) -> BallotAgent {
+        assert!(me < parties, "party index out of range");
+        assert!(!value.is_unit(), "⊥ cannot be proposed");
+        BallotAgent {
+            inst,
+            parties,
+            me,
+            round,
+            value,
+            bal_prev: 0,
+            val_prev: Value::Unit,
+            pc: Pc::CheckDecision,
+        }
+    }
+
+    /// The ballot number of this attempt (unique per (round, party)).
+    pub fn ballot(&self) -> i64 {
+        self.round as i64 * self.parties as i64 + self.me as i64 + 1
+    }
+
+    /// Round suggestion after an abort: the smallest round whose ballot
+    /// exceeds `higher`.
+    pub fn round_above(parties: u32, me: u32, higher: i64) -> u32 {
+        let mut r = 0u32;
+        while (r as i64) * parties as i64 + me as i64 + 1 <= higher {
+            r += 1;
+        }
+        r
+    }
+}
+
+impl Driver for BallotAgent {
+    type Output = BallotOutcome;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<BallotOutcome> {
+        let b = self.ballot();
+        match &mut self.pc {
+            Pc::CheckDecision => {
+                let raw = ctx.read(boards::decision_key(self.inst));
+                if let Some(v) = boards::read_decision(&raw) {
+                    self.pc = Pc::Done;
+                    return Step::Done(BallotOutcome::Decided(v));
+                }
+                self.pc = Pc::Phase1Write;
+                Step::Pending
+            }
+            Pc::Phase1Write => {
+                ctx.write(dblock_key(self.inst, self.me), dblock(b, self.bal_prev, &self.val_prev));
+                self.pc = Pc::Phase1Collect(Collect::new(dblock_keys(self.inst, self.parties)));
+                Step::Pending
+            }
+            Pc::Phase1Collect(c) => {
+                let Step::Done(blocks) = c.poll(ctx) else { return Step::Pending };
+                let mut higher = 0i64;
+                let mut best: Option<(i64, Value)> = None;
+                for (p, raw) in blocks.iter().enumerate() {
+                    let Some((mbal, bal, val)) = dblock_fields(raw) else { continue };
+                    if p as u32 != self.me && mbal > b {
+                        higher = higher.max(mbal);
+                    }
+                    if bal > 0 && best.as_ref().is_none_or(|(bb, _)| bal > *bb) {
+                        best = Some((bal, val));
+                    }
+                }
+                if higher > 0 {
+                    self.pc = Pc::Done;
+                    return Step::Done(BallotOutcome::Aborted { higher });
+                }
+                let val = best.map(|(_, v)| v).unwrap_or_else(|| self.value.clone());
+                self.pc = Pc::Phase2Write { val };
+                Step::Pending
+            }
+            Pc::Phase2Write { val } => {
+                let val = val.clone();
+                ctx.write(dblock_key(self.inst, self.me), dblock(b, b, &val));
+                self.pc = Pc::Phase2Collect {
+                    val,
+                    inner: Collect::new(dblock_keys(self.inst, self.parties)),
+                };
+                Step::Pending
+            }
+            Pc::Phase2Collect { val, inner } => {
+                let Step::Done(blocks) = inner.poll(ctx) else { return Step::Pending };
+                let val = val.clone();
+                let mut higher = 0i64;
+                for (p, raw) in blocks.iter().enumerate() {
+                    let Some((mbal, _, _)) = dblock_fields(raw) else { continue };
+                    if p as u32 != self.me && mbal > b {
+                        higher = higher.max(mbal);
+                    }
+                }
+                if higher > 0 {
+                    self.pc = Pc::Done;
+                    return Step::Done(BallotOutcome::Aborted { higher });
+                }
+                self.pc = Pc::WriteDecision { val };
+                Step::Pending
+            }
+            Pc::WriteDecision { val } => {
+                let val = val.clone();
+                ctx.write(boards::decision_key(self.inst), boards::wrap_decision(&val));
+                self.pc = Pc::Done;
+                Step::Done(BallotOutcome::Decided(val))
+            }
+            Pc::Done => panic!("ballot agent polled after completion"),
+        }
+    }
+}
+
+/// One-register decision poll (for non-leaders).
+#[derive(Clone, Hash, Debug)]
+pub struct DecisionPoll {
+    inst: u32,
+}
+
+impl DecisionPoll {
+    /// Polls the decision register of `inst`.
+    pub fn new(inst: u32) -> DecisionPoll {
+        DecisionPoll { inst }
+    }
+}
+
+impl Driver for DecisionPoll {
+    type Output = Option<Value>;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Option<Value>> {
+        let raw = ctx.read(boards::decision_key(self.inst));
+        Step::Done(boards::read_decision(&raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    struct H {
+        mem: SharedMemory,
+        clock: u64,
+    }
+
+    impl H {
+        fn new() -> H {
+            H { mem: SharedMemory::new(), clock: 0 }
+        }
+
+        fn poll<D: Driver>(&mut self, d: &mut D) -> Step<D::Output> {
+            let mut ctx = StepCtx::new(&mut self.mem, None, self.clock, Pid(0), 1);
+            self.clock += 1;
+            d.poll(&mut ctx)
+        }
+
+        fn drive<D: Driver>(&mut self, d: &mut D) -> D::Output {
+            loop {
+                if let Step::Done(o) = self.poll(d) {
+                    return o;
+                }
+            }
+        }
+    }
+
+    /// Runs a party's full retry loop to decision, alone.
+    fn run_to_decision(h: &mut H, inst: u32, parties: u32, me: u32, value: Value) -> Value {
+        let mut round = 0;
+        loop {
+            let mut agent = BallotAgent::new(inst, parties, me, round, value.clone());
+            match h.drive(&mut agent) {
+                BallotOutcome::Decided(v) => return v,
+                BallotOutcome::Aborted { higher } => {
+                    round = BallotAgent::round_above(parties, me, higher);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_leader_decides_own_value() {
+        let mut h = H::new();
+        let v = run_to_decision(&mut h, 0, 3, 1, Value::Int(7));
+        assert_eq!(v, Value::Int(7));
+        // Decision register published.
+        let raw = h.mem.peek(boards::decision_key(0));
+        assert_eq!(boards::read_decision(&raw), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn second_leader_adopts_decision() {
+        let mut h = H::new();
+        run_to_decision(&mut h, 0, 2, 0, Value::Int(1));
+        let v = run_to_decision(&mut h, 0, 2, 1, Value::Int(2));
+        assert_eq!(v, Value::Int(1));
+    }
+
+    #[test]
+    fn ballots_are_unique_per_party() {
+        let a = BallotAgent::new(0, 3, 0, 5, Value::Int(1));
+        let b = BallotAgent::new(0, 3, 1, 5, Value::Int(1));
+        assert_ne!(a.ballot(), b.ballot());
+        assert!(BallotAgent::round_above(3, 0, a.ballot()) as i64 * 3 + 1 > a.ballot());
+    }
+
+    /// Two leaders racing under random interleavings never decide
+    /// differently, and at least one eventually decides.
+    #[test]
+    fn competing_leaders_agree() {
+        for seed in 0..300 {
+            let mut h = H::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let vals = [Value::Int(10), Value::Int(20)];
+            let mut rounds = [0u32, 0u32];
+            let mut agents: Vec<BallotAgent> = (0..2)
+                .map(|p| BallotAgent::new(0, 2, p as u32, rounds[p], vals[p].clone()))
+                .collect();
+            let mut decided: Vec<Option<Value>> = vec![None, None];
+            let mut budget = 10_000;
+            while decided.iter().any(Option::is_none) && budget > 0 {
+                budget -= 1;
+                let p = rng.gen_range(0..2usize);
+                if decided[p].is_some() {
+                    continue;
+                }
+                let mut ctx = StepCtx::new(&mut h.mem, None, h.clock, Pid(p), 1);
+                h.clock += 1;
+                if let Step::Done(out) = agents[p].poll(&mut ctx) {
+                    match out {
+                        BallotOutcome::Decided(v) => decided[p] = Some(v),
+                        BallotOutcome::Aborted { higher } => {
+                            rounds[p] = BallotAgent::round_above(2, p as u32, higher);
+                            agents[p] =
+                                BallotAgent::new(0, 2, p as u32, rounds[p], vals[p].clone());
+                        }
+                    }
+                }
+            }
+            let got: Vec<&Value> = decided.iter().flatten().collect();
+            assert!(!got.is_empty(), "seed {seed}: nobody decided");
+            for v in &got {
+                assert_eq!(*v, got[0], "seed {seed}: disagreement");
+                assert!(vals.contains(v), "seed {seed}: invalid value");
+            }
+        }
+    }
+
+    #[test]
+    fn decision_poll_sees_publication() {
+        let mut h = H::new();
+        let mut p = DecisionPoll::new(4);
+        assert_eq!(h.drive(&mut p), None);
+        run_to_decision(&mut h, 4, 2, 0, Value::Int(3));
+        let mut p2 = DecisionPoll::new(4);
+        assert_eq!(h.drive(&mut p2), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn value_adoption_from_higher_ballot() {
+        // p0 completes phase 2 with value 1 but "crashes" before writing the
+        // decision register; p1 must adopt value 1, not its own.
+        let mut h = H::new();
+        let mut a0 = BallotAgent::new(0, 2, 0, 0, Value::Int(1));
+        // Drive a0 until it reaches WriteDecision (phase-2 collect done).
+        loop {
+            if matches!(a0.pc, Pc::WriteDecision { .. }) {
+                break;
+            }
+            let _ = h.poll(&mut a0);
+        }
+        let v = run_to_decision(&mut h, 0, 2, 1, Value::Int(2));
+        assert_eq!(v, Value::Int(1), "phase-2 accepted value must be adopted");
+    }
+}

@@ -1,0 +1,41 @@
+//! # wfa-algorithms — the paper's algorithms
+//!
+//! Executable versions of every algorithm in *Wait-Freedom with Advice*:
+//!
+//! * [`boards`] — shared register-layout conventions;
+//! * [`consensus`] — leader-based consensus from registers (the
+//!   `cons_{j,ℓ}` substrate of Appendix C.1), Disk-Paxos style;
+//! * [`set_agreement`] — EFD k-set agreement from `→Ωk` advice
+//!   (Appendix C.1 / §2.2): wait-free C-processes, leader S-processes;
+//! * [`trivial_advice`] — §2.2's n-set agreement with n S-processes and the
+//!   trivial failure detector;
+//! * [`one_concurrent`] — the universal 1-concurrent solver
+//!   (Proposition 1 / Appendix A);
+//! * [`renaming`] — Figure 4's k-concurrent (j, j+k−1)-renaming (which at
+//!   k = j is the wait-free (j, 2j−1) baseline [Attiya et al.]) and
+//!   Figure 3's 1-resilient wrapper;
+//! * [`round_consensus`] — the adopt-commit-rounds consensus substrate
+//!   (the ⚖ alternative to ballots; benchmarked head-to-head);
+//! * [`moir_anderson`] — splitter-grid renaming, the quadratic-namespace
+//!   wait-free baseline.
+
+pub mod boards;
+pub mod consensus;
+pub mod moir_anderson;
+pub mod one_concurrent;
+pub mod renaming;
+pub mod round_consensus;
+pub mod set_agreement;
+pub mod trivial_advice;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::boards::{decision_key, input_key, ns, read_decision, wrap_decision};
+    pub use crate::consensus::{BallotAgent, BallotOutcome, DecisionPoll};
+    pub use crate::moir_anderson::MoirAnderson;
+    pub use crate::round_consensus::RoundConsensus;
+    pub use crate::one_concurrent::OneConcurrentSolver;
+    pub use crate::renaming::{RenamingFig3, RenamingFig4};
+    pub use crate::set_agreement::{SetAgreementC, SetAgreementS};
+    pub use crate::trivial_advice::{TrivialAdviceC, TrivialAdviceS};
+}

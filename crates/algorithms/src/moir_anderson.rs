@@ -1,0 +1,153 @@
+//! Moir-Anderson splitter-grid renaming — the second wait-free baseline.
+//!
+//! Each process walks a triangular grid of splitters starting at (0,0):
+//! `Right` increments the column, `Down` increments the row, `Stop` claims
+//! the grid cell, whose index (diagonal numbering) is the new name. With at
+//! most `j` participants every walk stops within `j−1` moves, so names fit
+//! in `1..=j(j+1)/2` — wait-free, but a quadratically larger namespace than
+//! Figure 4's `2j−1` (and than `j+k−1` with advice): the baseline that
+//! makes the paper's renaming numbers meaningful.
+
+use wfa_kernel::process::{Process, Status, StepCtx};
+use wfa_kernel::value::Value;
+use wfa_objects::driver::{Driver, Step};
+use wfa_objects::splitter::{Splitter, SplitterOutcome};
+
+/// Namespace of the renaming grid's splitters.
+const NS_MA: u16 = 31;
+
+/// Grid cell `(row, col)` as a splitter instance and a name.
+///
+/// Diagonal numbering: cell (r, c) lies on diagonal d = r + c and gets
+/// name `d(d+1)/2 + r + 1 ∈ 1..=j(j+1)/2` for `d < j`.
+fn cell_name(row: u32, col: u32) -> i64 {
+    let d = (row + col) as i64;
+    d * (d + 1) / 2 + row as i64 + 1
+}
+
+fn cell_inst(row: u32, col: u32) -> u32 {
+    row << 16 | col
+}
+
+/// One process's walk through the renaming grid.
+#[derive(Clone, Hash, Debug)]
+pub struct MoirAnderson {
+    me: usize,
+    j: usize,
+    row: u32,
+    col: u32,
+    cur: Splitter,
+}
+
+impl MoirAnderson {
+    /// Process `me`, at most `j` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j == 0`.
+    pub fn new(me: usize, j: usize) -> MoirAnderson {
+        assert!(j > 0);
+        MoirAnderson { me, j, row: 0, col: 0, cur: Splitter::new(NS_MA, cell_inst(0, 0), me as i64) }
+    }
+
+    /// The namespace bound `j(j+1)/2`.
+    pub fn namespace(j: usize) -> i64 {
+        (j as i64) * (j as i64 + 1) / 2
+    }
+}
+
+impl Process for MoirAnderson {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.cur.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(SplitterOutcome::Stop) => {
+                Status::Decided(Value::Int(cell_name(self.row, self.col)))
+            }
+            Step::Done(outcome) => {
+                match outcome {
+                    SplitterOutcome::Right => self.col += 1,
+                    SplitterOutcome::Down => self.row += 1,
+                    SplitterOutcome::Stop => unreachable!(),
+                }
+                assert!(
+                    (self.row + self.col) < self.j as u32,
+                    "walk left the triangular grid: more than j participants?"
+                );
+                self.cur = Splitter::new(NS_MA, cell_inst(self.row, self.col), self.me as i64);
+                Status::Running
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("ma-rename[{}]", self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_kernel::executor::Executor;
+    use wfa_kernel::sched::{run_schedule, NullEnv, RandomSched};
+    use wfa_kernel::value::Pid;
+
+    fn run(j: usize, parts: &[usize], seed: u64) -> Vec<i64> {
+        let mut ex = Executor::new();
+        let pids: Vec<Pid> =
+            parts.iter().map(|i| ex.add_process(Box::new(MoirAnderson::new(*i, j)))).collect();
+        let mut sched = RandomSched::over_all(&ex, seed);
+        run_schedule(&mut ex, &mut sched, &mut NullEnv, 200_000);
+        pids.iter()
+            .map(|p| ex.status(*p).decision().and_then(Value::as_int).expect("decided"))
+            .collect()
+    }
+
+    #[test]
+    fn names_distinct_within_triangular_bound() {
+        for j in 2..=5usize {
+            let parts: Vec<usize> = (0..j).collect();
+            for seed in 0..100 {
+                let names = run(j, &parts, seed);
+                let mut sorted = names.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), names.len(), "j={j} seed={seed}: dup {names:?}");
+                let bound = MoirAnderson::namespace(j);
+                assert!(
+                    names.iter().all(|n| *n >= 1 && *n <= bound),
+                    "j={j} seed={seed}: {names:?} exceeds {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_walk_takes_name_1() {
+        assert_eq!(run(3, &[2], 0), vec![1]);
+    }
+
+    #[test]
+    fn diagonal_numbering_is_a_bijection() {
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..6u32 {
+            for col in 0..6u32 {
+                if row + col < 6 {
+                    assert!(seen.insert(cell_name(row, col)), "cell ({row},{col}) name clash");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 21); // 6·7/2
+        assert_eq!(seen.iter().min(), Some(&1));
+        assert_eq!(seen.iter().max(), Some(&21));
+    }
+
+    #[test]
+    fn fewer_participants_use_small_names() {
+        // 2 participants in a j=5 grid: names within the first two
+        // diagonals (≤ 3).
+        for seed in 0..50 {
+            let names = run(5, &[0, 4], seed);
+            assert!(names.iter().all(|n| *n <= 3), "{names:?}");
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! k-set agreement in the EFD model from `→Ωk` advice (Appendix C.1, §2.2).
+//!
+//! The C-process side is *trivially wait-free*: publish your input, then poll
+//! the `k` decision registers and return the first decided value — a
+//! C-process's progress depends only on its own steps plus the synchronization
+//! part's writes, never on other C-processes.
+//!
+//! The S-process side does all the waiting: each S-process queries its `→Ωk`
+//! module every step; for every vector position `ℓ` whose current advice
+//! names itself, it acts as the leader of consensus instance `ℓ`, running
+//! ballots (see [`crate::consensus`]) that propose some *published* input.
+//! Once some position of `→Ωk` stabilizes on a correct S-process, that
+//! process's ballots are eventually unopposed and its instance decides; every
+//! polling C-process then returns within its next `k` own steps.
+//!
+//! At most `k` instances exist, so at most `k` distinct values are returned;
+//! validity holds because leaders propose only published inputs.
+
+use wfa_kernel::process::{Process, Status, StepCtx};
+use wfa_kernel::value::Value;
+use wfa_objects::driver::{Driver, Step};
+
+use crate::boards::{self};
+use crate::consensus::{BallotAgent, BallotOutcome};
+
+/// C-process side of EFD k-set agreement.
+///
+/// Decides the first value it sees in any of the `k` decision registers.
+#[derive(Clone, Hash, Debug)]
+pub struct SetAgreementC {
+    /// This C-process's board slot.
+    me: usize,
+    /// The agreement bound (number of consensus instances).
+    k: u32,
+    input: Value,
+    published: bool,
+    next_poll: u32,
+}
+
+impl SetAgreementC {
+    /// C-process `me` with task input `input`, for k = `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `input` is `⊥`.
+    pub fn new(me: usize, k: u32, input: Value) -> SetAgreementC {
+        assert!(k > 0, "k must be positive");
+        assert!(!input.is_unit(), "input must be non-⊥");
+        SetAgreementC { me, k, input, published: false, next_poll: 0 }
+    }
+}
+
+impl Process for SetAgreementC {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        if !self.published {
+            ctx.write(boards::input_key(self.me), self.input.clone());
+            self.published = true;
+            return Status::Running;
+        }
+        let pos = self.next_poll;
+        self.next_poll = (self.next_poll + 1) % self.k;
+        let raw = ctx.read(boards::decision_key(pos));
+        match boards::read_decision(&raw) {
+            Some(v) => Status::Decided(v),
+            None => Status::Running,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("kSA-C{}", self.me)
+    }
+}
+
+/// S-process side of EFD k-set agreement: leader duties driven by `→Ωk`.
+#[derive(Clone, Hash, Debug)]
+pub struct SetAgreementS {
+    /// This S-process's index (0-based, `q_{sidx+1}` in the paper).
+    sidx: u32,
+    /// Number of S-processes (ballot parties).
+    n_s: u32,
+    /// Number of C-processes (input board size).
+    m: usize,
+    k: u32,
+    /// A published input value, once discovered.
+    value: Option<Value>,
+    /// Input-board scan cursor.
+    cursor: usize,
+    /// Ballot machinery per instance.
+    agents: Vec<Option<BallotAgent>>,
+    rounds: Vec<u32>,
+    decided: Vec<bool>,
+    /// Round-robin over owned instances.
+    next_inst: u32,
+}
+
+impl SetAgreementS {
+    /// S-process `sidx` of `n_s`, serving `m` C-processes, k = `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sidx >= n_s` or `k == 0`.
+    pub fn new(sidx: u32, n_s: u32, m: usize, k: u32) -> SetAgreementS {
+        assert!(sidx < n_s, "S-index out of range");
+        assert!(k > 0);
+        SetAgreementS {
+            sidx,
+            n_s,
+            m,
+            k,
+            value: None,
+            cursor: 0,
+            agents: vec![None; k as usize],
+            rounds: vec![0; k as usize],
+            decided: vec![false; k as usize],
+            next_inst: 0,
+        }
+    }
+
+    /// Positions of the current advice vector naming this process.
+    fn my_positions(&self, fd: Option<&Value>) -> Vec<u32> {
+        let Some(vec) = fd.and_then(Value::as_tuple) else { return Vec::new() };
+        vec.iter()
+            .take(self.k as usize)
+            .enumerate()
+            .filter(|(_, v)| v.as_int() == Some(self.sidx as i64))
+            .map(|(pos, _)| pos as u32)
+            .collect()
+    }
+}
+
+impl Process for SetAgreementS {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        // 1. Acquire a published input (one read per step until found).
+        if self.value.is_none() {
+            let v = ctx.read(boards::input_key(self.cursor));
+            self.cursor = (self.cursor + 1) % self.m;
+            if !v.is_unit() {
+                self.value = Some(v);
+            }
+            return Status::Running;
+        }
+        let value = self.value.clone().expect("checked above");
+        // 2. Leader duties for instances my advice currently assigns to me.
+        let mine: Vec<u32> =
+            self.my_positions(ctx.fd()).into_iter().filter(|p| !self.decided[*p as usize]).collect();
+        if mine.is_empty() {
+            // Nothing to lead right now; keep watching the input board (a
+            // fresher input is never required, but the step must be taken).
+            let _ = ctx.read(boards::input_key(self.cursor));
+            self.cursor = (self.cursor + 1) % self.m;
+            return Status::Running;
+        }
+        // Round-robin over owned instances.
+        self.next_inst = self.next_inst.wrapping_add(1);
+        let inst = mine[self.next_inst as usize % mine.len()];
+        let slot = &mut self.agents[inst as usize];
+        let agent = slot.get_or_insert_with(|| {
+            BallotAgent::new(inst, self.n_s, self.sidx, self.rounds[inst as usize], value.clone())
+        });
+        if let Step::Done(out) = agent.poll(ctx) {
+            *slot = None;
+            match out {
+                BallotOutcome::Decided(_) => self.decided[inst as usize] = true,
+                BallotOutcome::Aborted { higher } => {
+                    self.rounds[inst as usize] =
+                        BallotAgent::round_above(self.n_s, self.sidx, higher);
+                }
+            }
+        }
+        Status::Running
+    }
+
+    fn label(&self) -> String {
+        format!("kSA-S{}", self.sidx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use wfa_fd::detectors::FdGen;
+    use wfa_fd::pattern::FailurePattern;
+    use wfa_kernel::executor::Executor;
+    use wfa_kernel::sched::{run_schedule, RandomSched, Starve, StepEnv, StopReason};
+    use wfa_kernel::value::Pid;
+    use wfa_tasks::agreement::SetAgreement;
+    use wfa_tasks::task::Task;
+
+    /// Minimal EFD environment: C-processes are pids 0..n, S-processes are
+    /// pids n..2n mapping to S-indices 0..n.
+    struct MiniEfd {
+        fd: FdGen,
+        n: usize,
+    }
+
+    impl StepEnv for MiniEfd {
+        fn fd_output(&mut self, pid: Pid, now: u64) -> Option<Value> {
+            (pid.0 >= self.n).then(|| self.fd.output(pid.0 - self.n, now))
+        }
+
+        fn is_alive(&mut self, pid: Pid, now: u64) -> bool {
+            pid.0 < self.n || self.fd.pattern().is_alive(pid.0 - self.n, now)
+        }
+    }
+
+    fn build(n: usize, k: u32, inputs: &[i64]) -> (Executor, Vec<Pid>, Vec<Pid>) {
+        let mut ex = Executor::new();
+        let c: Vec<Pid> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ex.add_process(Box::new(SetAgreementC::new(i, k, Value::Int(*v)))))
+            .collect();
+        let s: Vec<Pid> =
+            (0..n).map(|q| ex.add_process(Box::new(SetAgreementS::new(q as u32, n as u32, n, k)))).collect();
+        (ex, c, s)
+    }
+
+    fn run_case(n: usize, k: u32, seed: u64, crashes: &[(usize, u64)], stops: Vec<(Pid, u64)>) {
+        let pattern = FailurePattern::with_crashes(n, crashes);
+        let inputs: Vec<i64> = (0..n as i64).collect();
+        let (mut ex, c_pids, _s) = build(n, k, &inputs);
+        let mut env =
+            MiniEfd { fd: FdGen::vector_omega_k(pattern, k as usize, 200, seed), n };
+        let base = RandomSched::over_all(&ex, seed ^ 0x55);
+        let mut sched = Starve::new(base, stops.clone());
+        let reason = run_schedule(&mut ex, &mut sched, &mut env, 400_000);
+        // Every C-process that was never starved must decide.
+        let starved: Vec<Pid> = stops.iter().map(|(p, _)| *p).collect();
+        for &p in &c_pids {
+            if !starved.contains(&p) {
+                assert!(
+                    ex.status(p).decision().is_some(),
+                    "n={n} k={k} seed={seed}: {p} undecided ({reason:?})"
+                );
+            }
+        }
+        // Task safety on whatever was decided.
+        let task = SetAgreement::new(n, k as usize);
+        let input_vec: Vec<Value> = inputs.iter().map(|v| Value::Int(*v)).collect();
+        let output: Vec<Value> = c_pids
+            .iter()
+            .map(|p| ex.status(*p).decision().cloned().unwrap_or(Value::Unit))
+            .collect();
+        task.validate(&input_vec, &output)
+            .unwrap_or_else(|e| panic!("n={n} k={k} seed={seed}: {e}"));
+    }
+
+    #[test]
+    fn failure_free_all_decide() {
+        for seed in 0..10 {
+            run_case(3, 2, seed, &[], vec![]);
+        }
+    }
+
+    #[test]
+    fn consensus_is_k_equals_1() {
+        for seed in 0..10 {
+            run_case(3, 1, seed, &[], vec![]);
+        }
+    }
+
+    #[test]
+    fn tolerates_s_process_crashes() {
+        for seed in 0..10 {
+            run_case(4, 2, seed, &[(0, 50), (3, 10)], vec![]);
+        }
+    }
+
+    #[test]
+    fn wait_free_despite_stopped_c_processes() {
+        // C-processes 1 and 2 stop very early; C0 must still decide.
+        for seed in 0..10 {
+            run_case(3, 2, seed, &[(1, 40)], vec![(Pid(1), 5), (Pid(2), 5)]);
+        }
+    }
+
+    #[test]
+    fn solo_c_process_decides() {
+        // Only one C-process ever takes steps (the others never start).
+        for seed in 0..5 {
+            run_case(4, 2, seed, &[], vec![(Pid(1), 0), (Pid(2), 0), (Pid(3), 0)]);
+        }
+    }
+
+    #[test]
+    fn k_bound_is_tight_under_many_seeds() {
+        // Aggregate check: across seeds, decisions never exceed k distinct
+        // values (exercises multi-instance decisions).
+        for seed in 0..30 {
+            run_case(5, 2, seed, &[(4, 0)], vec![]);
+        }
+    }
+
+    /// All S-processes crash before stabilization in some runs: C-processes
+    /// may then never decide, but must never violate safety.
+    #[test]
+    fn safety_holds_even_without_liveness() {
+        let n = 3;
+        let k = 2u32;
+        let pattern = FailurePattern::with_crashes(n, &[(0, 10), (1, 10)]);
+        let inputs: Vec<i64> = vec![7, 8, 9];
+        let (mut ex, c_pids, _) = build(n, k, &inputs);
+        let mut env = MiniEfd { fd: FdGen::vector_omega_k(pattern, k as usize, 1_000_000, 3), n };
+        let mut sched = RandomSched::over_all(&ex, 17);
+        let reason = run_schedule(&mut ex, &mut sched, &mut env, 50_000);
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        let task = SetAgreement::new(n, k as usize);
+        let input_vec: Vec<Value> = inputs.iter().map(|v| Value::Int(*v)).collect();
+        let output: Vec<Value> = c_pids
+            .iter()
+            .map(|p| ex.status(*p).decision().cloned().unwrap_or(Value::Unit))
+            .collect();
+        assert!(task.validate(&input_vec, &output).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fp = |seed: u64| {
+            let pattern = FailurePattern::failure_free(3);
+            let (mut ex, _, _) = build(3, 2, &[1, 2, 3]);
+            let mut env = MiniEfd { fd: FdGen::vector_omega_k(pattern, 2, 100, seed), n: 3 };
+            let mut sched = RandomSched::over_all(&ex, seed);
+            run_schedule(&mut ex, &mut sched, &mut env, 100_000);
+            ex.fingerprint()
+        };
+        assert_eq!(fp(9), fp(9));
+    }
+
+    #[test]
+    fn sample_many_seeds_with_mixed_inputs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        use rand::Rng;
+        for _ in 0..5 {
+            let seed = rng.gen();
+            run_case(4, 3, seed, &[(2, 30)], vec![]);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! §2.2: n-set agreement with n S-processes and **no** failure detector.
+//!
+//! The paper's observation that S-processes help even without failure
+//! detection: each S-process waits until some C-process publishes an input
+//! and then writes that value to a shared variable `V`; each C-process
+//! publishes its input and returns the first non-`⊥` value it reads in `V`.
+//! Since at least one S-process is correct, `V` is eventually written; since
+//! at most `n` S-processes write (each once), at most `n` distinct values are
+//! ever read — `(Π^C, n)`-set agreement, wait-free, in every environment.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::{Process, Status, StepCtx};
+use wfa_kernel::value::Value;
+
+use crate::boards::{self, ns};
+
+/// The shared variable `V`.
+pub fn v_key() -> RegKey {
+    RegKey::new(ns::TRIVIAL)
+}
+
+/// C-process side: publish input, then poll `V`.
+#[derive(Clone, Hash, Debug)]
+pub struct TrivialAdviceC {
+    me: usize,
+    input: Value,
+    published: bool,
+}
+
+impl TrivialAdviceC {
+    /// C-process `me` with input `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is `⊥`.
+    pub fn new(me: usize, input: Value) -> TrivialAdviceC {
+        assert!(!input.is_unit());
+        TrivialAdviceC { me, input, published: false }
+    }
+}
+
+impl Process for TrivialAdviceC {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        if !self.published {
+            ctx.write(boards::input_key(self.me), self.input.clone());
+            self.published = true;
+            return Status::Running;
+        }
+        let v = ctx.read(v_key());
+        if v.is_unit() {
+            Status::Running
+        } else {
+            Status::Decided(v)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("nSA-C{}", self.me)
+    }
+}
+
+/// S-process side: wait for any published input, copy it to `V` once, halt.
+#[derive(Clone, Hash, Debug)]
+pub struct TrivialAdviceS {
+    m: usize,
+    cursor: usize,
+    found: Option<Value>,
+}
+
+impl TrivialAdviceS {
+    /// An S-process serving `m` C-processes.
+    pub fn new(m: usize) -> TrivialAdviceS {
+        TrivialAdviceS { m, cursor: 0, found: None }
+    }
+}
+
+impl Process for TrivialAdviceS {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match &self.found {
+            None => {
+                let v = ctx.read(boards::input_key(self.cursor));
+                self.cursor = (self.cursor + 1) % self.m;
+                if !v.is_unit() {
+                    self.found = Some(v);
+                }
+                Status::Running
+            }
+            Some(v) => {
+                ctx.write(v_key(), v.clone());
+                Status::Halted
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        "nSA-S".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_kernel::executor::Executor;
+    use wfa_kernel::sched::{run_schedule, NullEnv, RandomSched, Starve, StepEnv};
+    use wfa_kernel::value::Pid;
+    use wfa_tasks::agreement::SetAgreement;
+    use wfa_tasks::task::Task;
+
+    struct Crashes(Vec<(Pid, u64)>);
+
+    impl StepEnv for Crashes {
+        fn is_alive(&mut self, pid: Pid, now: u64) -> bool {
+            !self.0.iter().any(|(p, t)| *p == pid && now >= *t)
+        }
+    }
+
+    fn run(n: usize, seed: u64, s_crashes: Vec<(usize, u64)>, c_stops: Vec<(usize, u64)>) {
+        let mut ex = Executor::new();
+        let c: Vec<Pid> = (0..n)
+            .map(|i| ex.add_process(Box::new(TrivialAdviceC::new(i, Value::Int(i as i64)))))
+            .collect();
+        let s: Vec<Pid> = (0..n).map(|_| ex.add_process(Box::new(TrivialAdviceS::new(n)))).collect();
+        let mut env = Crashes(s_crashes.iter().map(|(q, t)| (s[*q], *t)).collect());
+        let base = RandomSched::over_all(&ex, seed);
+        let stops: Vec<(Pid, u64)> = c_stops.iter().map(|(i, t)| (c[*i], *t)).collect();
+        let mut sched = Starve::new(base, stops.clone());
+        run_schedule(&mut ex, &mut sched, &mut env, 100_000);
+        let stopped: Vec<Pid> = stops.iter().map(|(p, _)| *p).collect();
+        for &p in &c {
+            if !stopped.contains(&p) {
+                assert!(ex.status(p).decision().is_some(), "{p} undecided (seed {seed})");
+            }
+        }
+        let task = SetAgreement::new(n, n);
+        let input: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let output: Vec<Value> =
+            c.iter().map(|p| ex.status(*p).decision().cloned().unwrap_or(Value::Unit)).collect();
+        task.validate(&input, &output).unwrap();
+    }
+
+    #[test]
+    fn all_decide_failure_free() {
+        for seed in 0..20 {
+            run(4, seed, vec![], vec![]);
+        }
+    }
+
+    #[test]
+    fn tolerates_all_but_one_s_crash() {
+        for seed in 0..20 {
+            run(4, seed, vec![(0, 0), (1, 5), (2, 9)], vec![]);
+        }
+    }
+
+    #[test]
+    fn wait_free_for_surviving_c() {
+        for seed in 0..20 {
+            run(3, seed, vec![(1, 3)], vec![(1, 2), (2, 2)]);
+        }
+    }
+
+    #[test]
+    fn values_are_published_inputs() {
+        // Direct sequential run: S copies exactly one published input.
+        let mut ex = Executor::new();
+        let c0 = ex.add_process(Box::new(TrivialAdviceC::new(0, Value::Int(42))));
+        let s0 = ex.add_process(Box::new(TrivialAdviceS::new(1)));
+        let mut rr = wfa_kernel::sched::RoundRobin::new([c0, s0]);
+        run_schedule(&mut ex, &mut rr, &mut NullEnv, 100);
+        assert_eq!(ex.status(c0).decision(), Some(&Value::Int(42)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Bench family B1 — leader-based consensus (Appendix C.1 substrate).
+//!
+//! Steps-to-decision of the ballot protocol: solo leader vs. party count
+//! (collect length dominates: linear in parties), and the dueling-leaders
+//! cost that the `→Ωk` advice exists to eliminate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfa::algorithms::consensus::{BallotAgent, BallotOutcome};
+use wfa::algorithms::round_consensus::RoundConsensus;
+use wfa::kernel::memory::SharedMemory;
+use wfa::kernel::process::StepCtx;
+use wfa::kernel::value::{Pid, Value};
+use wfa::objects::driver::{Driver, Step};
+
+/// Drives one party's retry loop to decision on a fresh instance; returns
+/// steps taken.
+fn solo_decide(parties: u32, inst: u32) -> u64 {
+    let mut mem = SharedMemory::new();
+    let mut steps = 0u64;
+    let mut round = 0;
+    loop {
+        let mut agent = BallotAgent::new(inst, parties, 0, round, Value::Int(7));
+        loop {
+            let mut ctx = StepCtx::new(&mut mem, None, steps, Pid(0), 1);
+            steps += 1;
+            match agent.poll(&mut ctx) {
+                Step::Pending => {}
+                Step::Done(BallotOutcome::Decided(_)) => return steps,
+                Step::Done(BallotOutcome::Aborted { higher }) => {
+                    round = BallotAgent::round_above(parties, 0, higher);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn bench_solo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus/solo_leader");
+    for parties in [2u32, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(parties), &parties, |b, &p| {
+            let mut inst = 0;
+            b.iter(|| {
+                inst += 1;
+                black_box(solo_decide(p, inst));
+            });
+        });
+        // Print the step count once per size (the shape the theory predicts:
+        // linear in parties — two collect phases).
+        let steps = solo_decide(parties, 999_000 + parties);
+        eprintln!("consensus/solo_leader parties={parties}: {steps} steps to decide");
+    }
+    g.finish();
+}
+
+/// Two leaders racing under a pseudo-random interleaving until someone
+/// decides. (Strict alternation livelocks forever — the classic dueling-
+/// leaders adversary; randomness breaks the symmetry with probability 1,
+/// which is exactly why liveness must come from the advice, not the ballot
+/// protocol itself.)
+fn duel_decide(inst: u32, mut rng_state: u64) -> u64 {
+    let mut mem = SharedMemory::new();
+    let mut steps = 0u64;
+    let mut rounds = [0u32; 2];
+    let mut agents: Vec<BallotAgent> = (0..2)
+        .map(|p| BallotAgent::new(inst, 2, p, rounds[p as usize], Value::Int(p as i64)))
+        .collect();
+    loop {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        let p = (rng_state % 2) as usize;
+        let mut ctx = StepCtx::new(&mut mem, None, steps, Pid(p), 1);
+        steps += 1;
+        match agents[p].poll(&mut ctx) {
+            Step::Pending => {}
+            Step::Done(BallotOutcome::Decided(_)) => return steps,
+            Step::Done(BallotOutcome::Aborted { higher }) => {
+                rounds[p] = BallotAgent::round_above(2, p as u32, higher);
+                agents[p] = BallotAgent::new(inst, 2, p as u32, rounds[p], Value::Int(p as i64));
+            }
+        }
+    }
+}
+
+fn bench_duel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus/dueling_leaders");
+    g.bench_function("random_interleaving", |b| {
+        let mut inst = 1_000_000;
+        b.iter(|| {
+            inst += 1;
+            black_box(duel_decide(inst, inst as u64 | 1));
+        });
+    });
+    g.finish();
+}
+
+/// Solo decision cost of the adopt-commit-rounds substrate.
+fn round_solo_decide(parties: u32, inst: u32) -> u64 {
+    let mut mem = SharedMemory::new();
+    let mut steps = 0u64;
+    let mut rc = RoundConsensus::new(inst, parties, 0, Value::Int(7));
+    rc.set_leader(0);
+    loop {
+        let mut ctx = StepCtx::new(&mut mem, None, steps, Pid(0), 1);
+        steps += 1;
+        if let Step::Done(_) = rc.poll(&mut ctx) {
+            return steps;
+        }
+    }
+}
+
+/// ⚖ substrate ablation: Disk-Paxos ballots vs adopt-commit rounds.
+fn bench_substrate_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus/substrate_ablation");
+    for parties in [2u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("ballots", parties), &parties, |b, &p| {
+            let mut inst = 2_000_000;
+            b.iter(|| {
+                inst += 1;
+                black_box(solo_decide(p, inst));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ac_rounds", parties), &parties, |b, &p| {
+            let mut inst = 0;
+            b.iter(|| {
+                inst += 1;
+                black_box(round_solo_decide(p, inst));
+            });
+        });
+        eprintln!(
+            "substrate parties={parties}: ballots {} steps | ac-rounds {} steps",
+            solo_decide(parties, 3_000_000 + parties),
+            round_solo_decide(parties, 900_000 + parties)
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solo, bench_duel, bench_substrate_ablation);
+criterion_main!(benches);

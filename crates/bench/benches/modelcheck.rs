@@ -1,0 +1,95 @@
+//! Bench family B8 — model-checking costs (experiments E1/E6).
+//!
+//! State counts and wall time of the exhaustive explorations backing the
+//! impossibility results: the Lemma-11 refutation pipeline and exhaustive
+//! verification of the register objects at small sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wfa::kernel::executor::Executor;
+use wfa::kernel::process::DynProcess;
+use wfa::modelcheck::explorer::{explore_all, Limits};
+use wfa::modelcheck::lemma11::refute_strong_2_renaming;
+use wfa::algorithms::renaming::RenamingFig4;
+use wfa::objects::adopt_commit::AdoptCommit;
+use wfa::objects::driver::{Driver, Step};
+use wfa::kernel::process::{Process, Status, StepCtx};
+use wfa::kernel::value::Value;
+
+fn bench_lemma11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modelcheck/lemma11");
+    g.sample_size(10);
+    g.bench_function("fig4_refutation", |b| {
+        let cand = |i: usize| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+        b.iter(|| {
+            let r = refute_strong_2_renaming(&cand, &[0, 1, 2], Limits::default());
+            assert!(r.refuted());
+            black_box(r.report.states)
+        });
+    });
+    let cand = |i: usize| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+    let r = refute_strong_2_renaming(&cand, &[0, 1, 2], Limits::default());
+    eprintln!("lemma11/fig4: {} distinct states, exhaustive={}", r.report.states, !r.report.truncated);
+    g.finish();
+}
+
+/// Adopt-commit wrapped as a deciding process (for exhaustive exploration).
+#[derive(Clone, Hash)]
+struct AcProc(AdoptCommit);
+
+impl Process for AcProc {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.0.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(out) => Status::Decided(Value::tuple([
+                Value::Bool(out.is_commit()),
+                out.value().clone(),
+            ])),
+        }
+    }
+}
+
+fn bench_adopt_commit_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modelcheck/adopt_commit");
+    g.sample_size(10);
+    g.bench_function("two_parties_exhaustive", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new();
+            for p in 0..2 {
+                ex.add_process(Box::new(AcProc(AdoptCommit::new(
+                    1,
+                    0,
+                    2,
+                    p,
+                    Value::Int(p as i64),
+                ))));
+            }
+            // Safety: if anyone commits v, everyone's outcome carries v.
+            let check = |ex: &Executor| -> Option<String> {
+                let outs: Vec<&Value> =
+                    ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+                let committed: Vec<&Value> = outs
+                    .iter()
+                    .filter(|o| o.get(0).and_then(Value::as_bool) == Some(true))
+                    .map(|o| o.get(1).unwrap())
+                    .collect();
+                if let Some(cv) = committed.first() {
+                    for o in &outs {
+                        if o.get(1).unwrap() != *cv {
+                            return Some(format!("commit {cv} vs outcome {o}"));
+                        }
+                    }
+                }
+                None
+            };
+            let report = explore_all(&ex, &check, Limits::default());
+            assert!(report.fully_verified(), "{report:?}");
+            black_box(report.states)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lemma11, bench_adopt_commit_verification);
+criterion_main!(benches);

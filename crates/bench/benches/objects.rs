@@ -1,0 +1,99 @@
+//! Bench family B-obj — wait-free object costs.
+//!
+//! Step counts and throughput of the register objects everything else is
+//! built from: adopt-commit, safe agreement (propose + resolve), the
+//! splitter, and the one-shot immediate snapshot. The shapes are all
+//! collect-dominated: linear in the party count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfa::kernel::memory::SharedMemory;
+use wfa::kernel::process::StepCtx;
+use wfa::kernel::value::{Pid, Value};
+use wfa::objects::adopt_commit::AdoptCommit;
+use wfa::objects::driver::{Driver, Step};
+use wfa::objects::immediate_snapshot::ImmediateSnapshot;
+use wfa::objects::safe_agreement::{SaPropose, SaResolve};
+use wfa::objects::splitter::Splitter;
+
+/// Drives a driver to completion solo; returns (steps, output).
+fn solo<D: Driver>(mem: &mut SharedMemory, mut d: D) -> (u64, D::Output) {
+    let mut steps = 0;
+    loop {
+        let mut ctx = StepCtx::new(mem, None, steps, Pid(0), 1);
+        steps += 1;
+        if let Step::Done(out) = d.poll(&mut ctx) {
+            return (steps, out);
+        }
+    }
+}
+
+fn bench_adopt_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objects/adopt_commit");
+    for parties in [2u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(parties), &parties, |b, &p| {
+            let mut inst = 0;
+            b.iter(|| {
+                inst += 1;
+                let mut mem = SharedMemory::new();
+                black_box(solo(&mut mem, AdoptCommit::new(1, inst, p, 0, Value::Int(1))))
+            });
+        });
+        let mut mem = SharedMemory::new();
+        let (steps, _) = solo(&mut mem, AdoptCommit::new(1, 999, parties, 0, Value::Int(1)));
+        eprintln!("adopt-commit parties={parties}: {steps} steps solo");
+    }
+    g.finish();
+}
+
+fn bench_safe_agreement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objects/safe_agreement");
+    for parties in [2u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(parties), &parties, |b, &p| {
+            let mut inst = 0;
+            b.iter(|| {
+                inst += 1;
+                let mut mem = SharedMemory::new();
+                let (s1, ()) = solo(&mut mem, SaPropose::new(2, inst, p, 0, Value::Int(1)));
+                let (s2, v) = solo(&mut mem, SaResolve::new(2, inst, p));
+                black_box((s1 + s2, v))
+            });
+        });
+        let mut mem = SharedMemory::new();
+        let (s1, ()) = solo(&mut mem, SaPropose::new(2, 999, parties, 0, Value::Int(1)));
+        let (s2, _) = solo(&mut mem, SaResolve::new(2, 999, parties));
+        eprintln!("safe-agreement parties={parties}: {s1}+{s2} steps propose+resolve solo");
+    }
+    g.finish();
+}
+
+fn bench_splitter_and_is(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objects/renaming_blocks");
+    g.bench_function("splitter_solo", |b| {
+        let mut inst = 0;
+        b.iter(|| {
+            inst += 1;
+            let mut mem = SharedMemory::new();
+            black_box(solo(&mut mem, Splitter::new(3, inst, 7)))
+        });
+    });
+    for parties in [2u32, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("immediate_snapshot_solo", parties),
+            &parties,
+            |b, &p| {
+                let mut inst = 0;
+                b.iter(|| {
+                    inst += 1;
+                    let mut mem = SharedMemory::new();
+                    black_box(solo(&mut mem, ImmediateSnapshot::new(4, inst, p, 0, Value::Int(1))))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adopt_commit, bench_safe_agreement, bench_splitter_and_is);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bench families B2 + B7 — EFD k-set agreement (experiment E5's fast path)
+//! and the advice-quality sweep.
+//!
+//! Predicted shapes: schedule slots to completion grow roughly linearly with
+//! `n` (collect lengths) and *decrease* with `k` (more instances can decide
+//! independently); total latency is dominated by the advice stabilization
+//! time, while C-process own-step counts stay flat (wait-freedom).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfa_bench::run_ksa;
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ksa/slots_vs_n");
+    g.sample_size(10);
+    for n in [2usize, 4, 8, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_ksa(n, 1.max(n / 4), 50, seed));
+            });
+        });
+        let slots = run_ksa(n, 1.max(n / 4), 50, 1);
+        eprintln!("ksa n={n}: {slots} schedule slots to all-decided");
+    }
+    g.finish();
+}
+
+fn bench_scaling_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ksa/slots_vs_k");
+    g.sample_size(10);
+    let n = 8;
+    for k in [1usize, 2, 4, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_ksa(n, k, 50, seed));
+            });
+        });
+        let slots = run_ksa(n, k, 50, 1);
+        eprintln!("ksa k={k} (n={n}): {slots} slots");
+    }
+    g.finish();
+}
+
+/// B7: the advice-quality sweep — latency must track stabilization time.
+fn bench_stabilization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ksa/advice_stabilization");
+    g.sample_size(10);
+    for stab in [0u64, 200, 1_000, 5_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(stab), &stab, |b, &stab| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_ksa(4, 2, stab, seed));
+            });
+        });
+        let slots = run_ksa(4, 2, stab, 1);
+        eprintln!("ksa stab={stab}: {slots} slots (latency tracks the advice)");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_k, bench_stabilization);
+criterion_main!(benches);

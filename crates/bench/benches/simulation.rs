@@ -1,0 +1,89 @@
+//! Bench families B5/B6 — the two simulation layers.
+//!
+//! * BG-simulation (experiment E-bg, §4.1): real steps per simulated step as
+//!   a function of simulators × codes — the overhead is dominated by the
+//!   board snapshot plus safe-agreement scans, so it grows with both.
+//! * The Figure-2 engine / Theorem-9 solver (experiment E5): schedule slots
+//!   for the full double-machinery to carry a renaming task end-to-end with
+//!   `¬Ωk` advice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfa::core::bg::BgSim;
+use wfa::core::code::RegisterSimCode;
+use wfa::core::harness::EfdRun;
+use wfa::core::solver::{theorem9_system, RenamingBuilder};
+use wfa::fd::detectors::FdGen;
+use wfa::fd::pattern::FailurePattern;
+use wfa::kernel::executor::Executor;
+use wfa::kernel::sched::{run_schedule, NullEnv, RandomSched};
+use wfa::kernel::value::Value;
+use wfa::algorithms::renaming::RenamingFig4;
+
+type Code = RegisterSimCode<RenamingFig4>;
+
+fn codes(n_codes: usize) -> Vec<Code> {
+    (0..n_codes).map(|i| RegisterSimCode::new(i, RenamingFig4::new(i, n_codes + 1))).collect()
+}
+
+/// Runs BG to all-codes-decided; returns real schedule slots consumed.
+fn run_bg(n_sims: usize, n_codes: usize, seed: u64) -> u64 {
+    let mut ex = Executor::new();
+    for s in 0..n_sims {
+        ex.add_process(Box::new(BgSim::new(s as u32, n_sims as u32, codes(n_codes), None)));
+    }
+    let mut sched = RandomSched::over_all(&ex, seed);
+    run_schedule(&mut ex, &mut sched, &mut NullEnv, 5_000_000);
+    assert!(ex.quiescent(), "BG bench run did not finish");
+    ex.clock()
+}
+
+fn bench_bg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/bg");
+    g.sample_size(10);
+    for (sims, n_codes) in [(1usize, 3usize), (2, 3), (3, 3), (2, 6), (4, 6)] {
+        let id = format!("s{sims}_c{n_codes}");
+        g.bench_with_input(BenchmarkId::from_parameter(&id), &(sims, n_codes), |b, &(s, n)| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_bg(s, n, seed));
+            });
+        });
+        let slots = run_bg(sims, n_codes, 1);
+        eprintln!("bg sims={sims} codes={n_codes}: {slots} real slots to finish");
+    }
+    g.finish();
+}
+
+/// Full Theorem-9 solver run (renaming with advice); returns slots.
+fn run_solver(n: usize, k: usize, seed: u64) -> u64 {
+    let inputs: Vec<Value> = (0..n).map(|i| Value::Int(1000 + i as i64)).collect();
+    let (c, s) = theorem9_system(n, k, &inputs, RenamingBuilder { m: n });
+    let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k, 100, seed);
+    let mut run = EfdRun::new(c, s, fd);
+    let mut sched = run.fair_sched(seed ^ 3);
+    run.run_until_decided(&mut sched, 20_000_000).expect("solver bench run did not finish")
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/theorem9_solver");
+    g.sample_size(10);
+    for (n, k) in [(3usize, 1usize), (3, 2), (4, 2)] {
+        let id = format!("n{n}_k{k}");
+        g.bench_with_input(BenchmarkId::from_parameter(&id), &(n, k), |b, &(n, k)| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_solver(n, k, seed));
+            });
+        });
+        let slots = run_solver(n, k, 1);
+        eprintln!("theorem9 n={n} k={k}: {slots} slots (consensus-per-simulated-step cost)");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bg, bench_solver);
+criterion_main!(benches);

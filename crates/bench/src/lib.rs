@@ -1,0 +1,44 @@
+//! # wfa-bench — benchmark harness
+//!
+//! One Criterion bench per experiment family (see `EXPERIMENTS.md` for the
+//! experiment ↔ bench mapping). The benches measure the *shapes* the theory
+//! predicts — how decision latency scales with n, k and advice stabilization
+//! time, what the simulation layers cost, and where renaming's
+//! advice-vs-baseline namespace crossover falls — not absolute wall-clock
+//! numbers (the substrate is a deterministic simulator, not the authors'
+//! testbed; there was none: the paper is pure theory).
+//!
+//! Shared run drivers live here so benches and integration tests measure
+//! the same code paths.
+
+use wfa::core::harness::EfdRun;
+use wfa::fd::detectors::FdGen;
+use wfa::fd::pattern::FailurePattern;
+use wfa::kernel::process::DynProcess;
+use wfa::kernel::value::Value;
+use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
+
+pub use wfa;
+
+/// Builds and runs EFD k-set agreement to completion; returns consumed
+/// schedule slots.
+///
+/// # Panics
+///
+/// Panics if some C-process fails to decide within the budget.
+pub fn run_ksa(n: usize, k: usize, stab: u64, seed: u64) -> u64 {
+    let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+    let c: Vec<Box<dyn DynProcess>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Box::new(SetAgreementC::new(i, k as u32, v.clone())) as Box<dyn DynProcess>)
+        .collect();
+    let s: Vec<Box<dyn DynProcess>> = (0..n)
+        .map(|q| Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32)) as Box<dyn DynProcess>)
+        .collect();
+    let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k, stab, seed);
+    let mut run = EfdRun::new(c, s, fd);
+    let mut sched = run.fair_sched(seed ^ 0xb5);
+    run.run_until_decided(&mut sched, 5_000_000)
+        .expect("undecided C-processes in bench run")
+}

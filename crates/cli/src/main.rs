@@ -1,0 +1,274 @@
+//! `wfa-cli` — run the *Wait-Freedom with Advice* experiments from the
+//! command line.
+//!
+//! ```text
+//! wfa-cli ksa       --n 4 --k 2 --stab 200 --seed 7   EFD k-set agreement, one run
+//! wfa-cli rename    --j 3 --seeds 60                  renaming namespace sweep
+//! wfa-cli hierarchy --n 4 --runs 400                  Theorem-10 classification table
+//! wfa-cli refute                                      Lemma-11 refutation pipeline
+//! wfa-cli extract   --slots 600000 --stab 300         Figure-1 ¬Ω1 extraction
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set at the workspace baseline.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wfa::algorithms::one_concurrent::OneConcurrentSolver;
+use wfa::algorithms::renaming::RenamingFig4;
+use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
+use wfa::core::classify::{concurrency_profile, ProbeOutcome};
+use wfa::core::harness::{EfdRun, RunReport};
+use wfa::core::reduction::{emulated_key, AsimBuilders, ReductionS};
+use wfa::fd::detectors::{FdGen, HistoryEntry};
+use wfa::fd::pattern::FailurePattern;
+use wfa::fd::spec::check_anti_omega_k;
+use wfa::kernel::executor::Executor;
+use wfa::kernel::process::DynProcess;
+use wfa::kernel::sched::{run_schedule, KConcurrent, NullEnv, RandomSched, Scheduler};
+use wfa::kernel::value::{Pid, Value};
+use wfa::modelcheck::explorer::Limits;
+use wfa::modelcheck::lemma11::refute_strong_2_renaming;
+use wfa::tasks::agreement::SetAgreement;
+use wfa::tasks::renaming::Renaming;
+use wfa::tasks::task::Task;
+
+/// Parsed `--key value` arguments with typed accessors.
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut map = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(k) = it.next() {
+            let Some(key) = k.strip_prefix("--") else {
+                return Err(format!("expected --key, got `{k}`"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("missing value for --{key}"));
+            };
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Args(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+        }
+    }
+}
+
+fn cmd_ksa(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 4)?;
+    let k: usize = args.get("k", 2)?;
+    let stab: u64 = args.get("stab", 200)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let crashes: usize = args.get("crashes", 1)?;
+    if k == 0 || k > n {
+        return Err("need 1 ≤ k ≤ n".into());
+    }
+    let pattern = wfa::fd::environment::Environment::up_to(n, crashes.min(n - 1))
+        .sample(seed, stab.max(1));
+    println!("pattern  : {pattern}");
+    let fd = FdGen::vector_omega_k(pattern, k, stab, seed);
+    println!("detector : {} (stab {stab})", fd.name());
+    let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+    let c: Vec<Box<dyn DynProcess>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Box::new(SetAgreementC::new(i, k as u32, v.clone())) as Box<dyn DynProcess>)
+        .collect();
+    let s: Vec<Box<dyn DynProcess>> = (0..n)
+        .map(|q| {
+            Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32)) as Box<dyn DynProcess>
+        })
+        .collect();
+    let mut run = EfdRun::new(c, s, fd);
+    let mut sched = run.fair_sched(seed ^ 0xc11);
+    let slots = run.run_until_decided(&mut sched, 5_000_000);
+    let task = SetAgreement::new(n, k);
+    let report = RunReport::evaluate(
+        &run,
+        &task,
+        &inputs,
+        wfa::kernel::sched::StopReason::ScheduleEnded,
+    );
+    for (i, (inp, out)) in report.input.iter().zip(&report.output).enumerate() {
+        println!("C{i}: input={inp} output={out} ({} own steps)", report.c_steps[i]);
+    }
+    match (&report.verdict, slots) {
+        (Ok(()), Some(slots)) => {
+            println!("ok: all decided in {slots} slots, Δ satisfied");
+            Ok(())
+        }
+        (Err(e), _) => Err(format!("task violated: {e}")),
+        (Ok(()), None) => Err("budget exhausted before all decisions".into()),
+    }
+}
+
+fn cmd_rename(args: &Args) -> Result<(), String> {
+    let j: usize = args.get("j", 3)?;
+    let seeds: u64 = args.get("seeds", 60)?;
+    let m = j + 1;
+    println!("(j = {j}) max observed name over {seeds} seeded k-concurrent ensembles:");
+    println!("{:>4} {:>8} {:>8}", "k", "bound", "observed");
+    for k in 1..=j {
+        let mut max_name = 0i64;
+        for seed in 0..seeds {
+            let mut ex = Executor::new();
+            let pids: Vec<Pid> =
+                (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
+            let mut sched = KConcurrent::with_seed(pids.clone(), [], k, seed);
+            run_schedule(&mut ex, &mut sched, &mut NullEnv, 5_000_000);
+            for p in &pids {
+                max_name =
+                    max_name.max(ex.status(*p).decision().and_then(Value::as_int).unwrap_or(0));
+            }
+        }
+        println!("{:>4} {:>8} {:>8}", k, j + k - 1, max_name);
+    }
+    Ok(())
+}
+
+fn cmd_hierarchy(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 4)?;
+    let runs: u32 = args.get("runs", 400)?;
+    println!("Theorem-10 classification over n = {n} ({runs} runs per cell)");
+    for k_task in 1..=n {
+        let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, k_task));
+        let t2 = task.clone();
+        let algo = move |i: usize, input: &Value| {
+            Box::new(OneConcurrentSolver::new(i, t2.clone(), input.clone())) as Box<dyn DynProcess>
+        };
+        let (level, rows) = concurrency_profile(&task, &algo, n, runs, 200_000, 11);
+        let cells: String = rows
+            .iter()
+            .map(|r| match r.outcome {
+                ProbeOutcome::Satisfied { .. } => " ✓",
+                ProbeOutcome::Violated { .. } => " ✗",
+                ProbeOutcome::Stuck { .. } => " ∅",
+            })
+            .collect();
+        println!("{:<22}{}  → class {:?}", task.name(), cells, level);
+    }
+    let j = (n - 1).max(2);
+    let task: Arc<dyn Task> = Arc::new(Renaming::strong(n, j));
+    let algo = move |i: usize, _input: &Value| {
+        Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>
+    };
+    let (level, _) = concurrency_profile(&task, &algo, n.min(3), runs, 300_000, 13);
+    println!("{:<22}  → class {:?}", task.name(), level);
+    Ok(())
+}
+
+fn cmd_refute(_args: &Args) -> Result<(), String> {
+    let cand = |i: usize| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+    let r = refute_strong_2_renaming(&cand, &[0, 1, 2], Limits::default());
+    println!("colliding solo slots: p{} and p{}", r.colliding.0, r.colliding.1);
+    println!("states explored     : {}", r.report.states);
+    match (&r.report.violation, &r.report.undecided_cycle) {
+        (Some((reason, sched)), _) => {
+            println!("counterexample      : {reason} (schedule length {})", sched.len())
+        }
+        (None, Some(sched)) => {
+            println!("counterexample      : forever-undecided cycle at depth {}", sched.len())
+        }
+        _ => return Err("no counterexample found (Lemma 11 violated?!)".into()),
+    }
+    Ok(())
+}
+
+fn cmd_extract(args: &Args) -> Result<(), String> {
+    let slots: u64 = args.get("slots", 600_000)?;
+    let stab: u64 = args.get("stab", 300)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let n = 3;
+    fn c_part(i: usize, input: &Value) -> Box<dyn DynProcess> {
+        Box::new(SetAgreementC::new(i, 1, input.clone()))
+    }
+    fn s_part(q: usize) -> Box<dyn DynProcess> {
+        Box::new(SetAgreementS::new(q as u32, 3, 3, 1))
+    }
+    let builders = AsimBuilders { c_part, s_part };
+    let inputs: Vec<Vec<Value>> = vec![(0..n as i64).map(Value::Int).collect()];
+    let pattern = FailurePattern::failure_free(n);
+    let mut fd = FdGen::vector_omega_k(pattern.clone(), 1, stab, seed);
+    let mut ex = Executor::new();
+    for q in 0..n {
+        ex.add_process(Box::new(ReductionS::new(q, n, 1, builders, inputs.clone())));
+    }
+    let mut sched = RandomSched::over_all(&ex, seed ^ 0xe4);
+    let mut history: Vec<HistoryEntry> = Vec::new();
+    for step in 0..slots {
+        let Some(pid) = sched.next(&ex) else { break };
+        let now = ex.clock();
+        let fdv = fd.output(pid.0, now);
+        ex.step(pid, Some(&fdv));
+        if step % 16 == 0 {
+            let v = ex.memory().peek(emulated_key(pid.0 as u32));
+            if !v.is_unit() {
+                history.push(HistoryEntry { q: pid.0, t: now, val: v });
+            }
+        }
+    }
+    println!("samples recorded: {}", history.len());
+    match check_anti_omega_k(&pattern, &history, 1, 5_000) {
+        Some(w) => {
+            println!("¬Ω1 extracted: correct S{} excluded from τ = {}", w.who, w.tau);
+            Ok(())
+        }
+        None => Err("extraction did not stabilize within the budget".into()),
+    }
+}
+
+fn usage() -> &'static str {
+    "wfa-cli — Wait-Freedom with Advice, runnable\n\
+     \n\
+     USAGE: wfa-cli <command> [--key value ...]\n\
+     \n\
+     COMMANDS\n\
+       ksa        EFD k-set agreement   (--n --k --stab --seed --crashes)\n\
+       rename     renaming sweep        (--j --seeds)\n\
+       hierarchy  Theorem-10 table      (--n --runs)\n\
+       refute     Lemma-11 pipeline\n\
+       extract    Figure-1 extraction   (--slots --stab --seed)\n\
+       help       this text"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "ksa" => cmd_ksa(&args),
+        "rename" => cmd_rename(&args),
+        "hierarchy" => cmd_hierarchy(&args),
+        "refute" => cmd_refute(&args),
+        "extract" => cmd_extract(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Theorem 10: the task hierarchy by maximal concurrency level.
+//!
+//! Every task `T` sits in exactly one class `k ∈ {1, …, n}`: it is solvable
+//! k-concurrently but not (k+1)-concurrently, and its weakest failure
+//! detector in EFD is `¬Ωk`. This module measures the *solvable side*
+//! empirically: given a restricted algorithm for `T`, [`probe_concurrency`]
+//! runs adversarial `k`-concurrent ensembles and reports whether every run
+//! satisfied `T`; [`concurrency_profile`] sweeps `k` to produce the paper's
+//! classification table (experiment E9). The *unsolvable side* at small
+//! sizes is established exhaustively by `wfa-modelcheck` (Lemma 11 and the
+//! FLP-style explorations); at larger sizes the probe's violation witnesses
+//! are concrete counterexample schedules.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wfa_kernel::executor::Executor;
+use wfa_kernel::process::DynProcess;
+use wfa_kernel::sched::{run_schedule, KConcurrent, NullEnv, StopReason};
+use wfa_kernel::value::{Pid, Value};
+use wfa_tasks::task::{Task, TaskViolation};
+
+/// Builds the restricted (no failure detector) C-process automaton of the
+/// probed algorithm for slot `i` with the given input.
+pub type RestrictedAlgo<'a> = dyn Fn(usize, &Value) -> Box<dyn DynProcess> + 'a;
+
+/// Result of probing one concurrency level.
+#[derive(Clone, Debug)]
+pub enum ProbeOutcome {
+    /// Every run terminated and satisfied the task.
+    Satisfied {
+        /// Number of runs performed.
+        runs: u32,
+    },
+    /// Some run produced outputs violating Δ.
+    Violated {
+        /// Seed of the violating run (reproducible).
+        seed: u64,
+        /// The violated condition.
+        violation: TaskViolation,
+    },
+    /// Some run exhausted its budget with undecided scheduled participants.
+    Stuck {
+        /// Seed of the stuck run.
+        seed: u64,
+    },
+}
+
+impl ProbeOutcome {
+    /// `true` iff all runs satisfied the task.
+    pub fn ok(&self) -> bool {
+        matches!(self, ProbeOutcome::Satisfied { .. })
+    }
+}
+
+/// Runs `runs` adversarial k-concurrent ensembles of `algo` against `task`.
+///
+/// Each run samples a participant set (of the task's maximum size), inputs,
+/// and an arrival order, then schedules at concurrency `k` until quiescence
+/// or `budget` slots.
+pub fn probe_concurrency(
+    task: &Arc<dyn Task>,
+    algo: &RestrictedAlgo<'_>,
+    k: usize,
+    runs: u32,
+    budget: u64,
+    base_seed: u64,
+) -> ProbeOutcome {
+    for r in 0..runs {
+        let seed = base_seed.wrapping_mul(7_919).wrapping_add(r as u64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = task.arity();
+        let max_p = task.max_participants().min(m);
+        let mut slots: Vec<usize> = (0..m).collect();
+        slots.shuffle(&mut rng);
+        let mut participants = vec![false; m];
+        for s in &slots[..max_p] {
+            participants[*s] = true;
+        }
+        let inputs = task.sample_inputs(&participants, &mut rng);
+        let mut ex = Executor::new();
+        let mut pids: Vec<(usize, Pid)> = Vec::new();
+        for i in 0..m {
+            if participants[i] {
+                pids.push((i, ex.add_process(algo(i, &inputs[i]))));
+            }
+        }
+        let mut arrival: Vec<Pid> = pids.iter().map(|(_, p)| *p).collect();
+        arrival.shuffle(&mut rng);
+        let mut sched = KConcurrent::with_seed(arrival, [], k, seed ^ 0x5eed);
+        let stop = run_schedule(&mut ex, &mut sched, &mut NullEnv, budget);
+        let mut output = vec![Value::Unit; m];
+        for (slot, pid) in &pids {
+            output[*slot] = ex.status(*pid).decision().cloned().unwrap_or(Value::Unit);
+        }
+        if let Err(violation) = task.validate(&inputs, &output) {
+            return ProbeOutcome::Violated { seed, violation };
+        }
+        if stop == StopReason::BudgetExhausted || output.iter().zip(&participants).any(|(o, p)| *p && o.is_unit())
+        {
+            return ProbeOutcome::Stuck { seed };
+        }
+    }
+    ProbeOutcome::Satisfied { runs }
+}
+
+/// One row of the Theorem-10 classification table.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// The probed concurrency level.
+    pub k: usize,
+    /// The probe result at this level.
+    pub outcome: ProbeOutcome,
+}
+
+/// Sweeps concurrency levels `1..=max_k`, returning the per-level outcomes
+/// and the largest level at which every run satisfied the task (`None` if
+/// even `k = 1` failed — which Proposition 1 rules out for correct
+/// algorithms).
+pub fn concurrency_profile(
+    task: &Arc<dyn Task>,
+    algo: &RestrictedAlgo<'_>,
+    max_k: usize,
+    runs: u32,
+    budget: u64,
+    base_seed: u64,
+) -> (Option<usize>, Vec<ProfileRow>) {
+    let mut rows = Vec::new();
+    let mut best = None;
+    for k in 1..=max_k {
+        let outcome = probe_concurrency(task, algo, k, runs, budget, base_seed ^ (k as u64) << 32);
+        if outcome.ok() {
+            best = Some(k);
+        }
+        rows.push(ProfileRow { k, outcome });
+    }
+    (best, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wfa_algorithms::one_concurrent::OneConcurrentSolver;
+    use wfa_algorithms::renaming::RenamingFig4;
+    use wfa_tasks::agreement::{consensus, SetAgreement};
+    use wfa_tasks::renaming::Renaming;
+
+    fn universal(task: Arc<dyn Task>) -> impl Fn(usize, &Value) -> Box<dyn DynProcess> {
+        move |i, input| Box::new(OneConcurrentSolver::new(i, task.clone(), input.clone()))
+    }
+
+    #[test]
+    fn consensus_is_class_1() {
+        let task: Arc<dyn Task> = Arc::new(consensus(3));
+        let algo = universal(task.clone());
+        let (level, rows) = concurrency_profile(&task, &algo, 3, 200, 100_000, 5);
+        assert_eq!(level, Some(1), "{rows:?}");
+        assert!(rows[0].outcome.ok());
+        assert!(!rows[1].outcome.ok(), "consensus must fail 2-concurrently: {rows:?}");
+    }
+
+    #[test]
+    fn k_set_agreement_is_class_k() {
+        for k in 1..=3usize {
+            let task: Arc<dyn Task> = Arc::new(SetAgreement::new(4, k));
+            let algo = universal(task.clone());
+            let (level, rows) = concurrency_profile(&task, &algo, 4, 600, 200_000, 9);
+            assert_eq!(level, Some(k), "k={k}: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn strong_renaming_is_class_1() {
+        // (j, j)-renaming with the Figure-4 automaton: 1-concurrent runs use
+        // names 1..=j, 2-concurrent runs overflow the namespace.
+        // Violations at k = 2 are real but rare under random sampling
+        // (Lemma 11's exhaustive model checking is the definitive evidence;
+        // here a larger ensemble suffices to find a concrete witness).
+        let task: Arc<dyn Task> = Arc::new(Renaming::strong(4, 3));
+        let algo =
+            |i: usize, _input: &Value| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+        let (level, rows) = concurrency_profile(&task, &algo, 3, 400, 300_000, 13);
+        assert_eq!(level, Some(1), "{rows:?}");
+    }
+
+    #[test]
+    fn j_plus_k_minus_1_renaming_is_solvable_k_concurrently() {
+        // (3, 3+k−1)-renaming solvable k-concurrently (Theorem 15).
+        for k in 1..=3usize {
+            let task: Arc<dyn Task> = Arc::new(Renaming::new(4, 3, 3 + k - 1));
+            let algo =
+                |i: usize, _input: &Value| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+            let out = probe_concurrency(&task, &algo, k, 12, 300_000, 17);
+            assert!(out.ok(), "k={k}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn violations_carry_reproducible_seeds() {
+        let task: Arc<dyn Task> = Arc::new(consensus(2));
+        let algo = universal(task.clone());
+        let out = probe_concurrency(&task, &algo, 2, 20, 50_000, 3);
+        match out {
+            ProbeOutcome::Violated { seed, violation } => {
+                // Re-probing with the same base seed reproduces a violation.
+                let _ = (seed, violation);
+                let again = probe_concurrency(&task, &algo, 2, 20, 50_000, 3);
+                assert!(!again.ok());
+            }
+            other => panic!("expected a violation, got {other:?}"),
+        }
+    }
+}

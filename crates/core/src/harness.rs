@@ -1,0 +1,477 @@
+//! The EFD run harness (§2.1–§2.2).
+//!
+//! Assembles full EFD runs ⟨F, H, I, Sch, T⟩: `n` C-process automata plus
+//! `n` S-process automata (the paper's "interesting case" m = n, §2.2), a
+//! failure pattern from an environment, a lazily sampled failure-detector
+//! history, and a schedule. The harness enforces the model's conventions —
+//! crashed S-processes take no steps, only S-processes see the detector —
+//! and produces a [`RunReport`] with everything a theorem-experiment checks:
+//! the input/output vectors, Δ-validation, per-process step counts and the
+//! recorded detector history.
+//!
+//! **Wait-freedom** is checked the only way it can be operationally: run the
+//! same system under adversaries that stop arbitrary subsets of *other*
+//! C-processes at arbitrary times ([`wait_freedom_ensemble`]); every
+//! non-stopped C-process must still decide in a bounded number of its own
+//! steps. This is the paper's defining quantifier — "every computation
+//! process outputs in a finite number of its own steps, regardless of the
+//! behavior of other computation processes".
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wfa_fd::detectors::FdGen;
+use wfa_kernel::executor::Executor;
+use wfa_kernel::process::DynProcess;
+use wfa_kernel::sched::{run_schedule, RandomSched, Scheduler, Starve, StepEnv, StopReason};
+use wfa_kernel::value::{Pid, Value};
+use wfa_tasks::task::{Task, TaskViolation};
+
+/// Maps run pids to the C/S split: C-processes are pids `0..n`, S-processes
+/// are pids `n..n+s` with S-index `pid − n`.
+#[derive(Clone, Copy, Debug)]
+pub struct Roles {
+    /// Number of C-processes.
+    pub n_c: usize,
+    /// Number of S-processes.
+    pub n_s: usize,
+}
+
+impl Roles {
+    /// The pid of C-process `i`.
+    pub fn c(&self, i: usize) -> Pid {
+        assert!(i < self.n_c);
+        Pid(i)
+    }
+
+    /// The pid of S-process `q`.
+    pub fn s(&self, q: usize) -> Pid {
+        assert!(q < self.n_s);
+        Pid(self.n_c + q)
+    }
+
+    /// The S-index of `pid`, if it is an S-process.
+    pub fn sidx(&self, pid: Pid) -> Option<usize> {
+        (pid.0 >= self.n_c && pid.0 < self.n_c + self.n_s).then(|| pid.0 - self.n_c)
+    }
+
+    /// All C-process pids.
+    pub fn c_pids(&self) -> Vec<Pid> {
+        (0..self.n_c).map(Pid).collect()
+    }
+
+    /// All S-process pids.
+    pub fn s_pids(&self) -> Vec<Pid> {
+        (self.n_c..self.n_c + self.n_s).map(Pid).collect()
+    }
+}
+
+/// Step environment wiring the failure detector and the failure pattern into
+/// a run (S-processes query `H(q, τ)`; crashed S-processes take no steps).
+struct EfdEnv<'a> {
+    fd: &'a mut FdGen,
+    roles: Roles,
+}
+
+impl StepEnv for EfdEnv<'_> {
+    fn fd_output(&mut self, pid: Pid, now: u64) -> Option<Value> {
+        self.roles.sidx(pid).map(|q| self.fd.output(q, now))
+    }
+
+    fn is_alive(&mut self, pid: Pid, now: u64) -> bool {
+        match self.roles.sidx(pid) {
+            Some(q) => self.fd.pattern().is_alive(q, now),
+            None => true, // C-processes never crash in the EFD model
+        }
+    }
+}
+
+/// An assembled EFD run, ready to execute.
+pub struct EfdRun {
+    /// The underlying executor (C-processes first, then S-processes).
+    pub executor: Executor,
+    /// The pid mapping.
+    pub roles: Roles,
+    /// The failure-detector history sampler (owns the failure pattern).
+    pub fd: FdGen,
+}
+
+impl EfdRun {
+    /// Assembles a run from C-process and S-process automata and a detector.
+    pub fn new(
+        c_procs: Vec<Box<dyn DynProcess>>,
+        s_procs: Vec<Box<dyn DynProcess>>,
+        fd: FdGen,
+    ) -> EfdRun {
+        assert_eq!(
+            s_procs.len(),
+            fd.pattern().n(),
+            "one S-process per failure-pattern slot"
+        );
+        let roles = Roles { n_c: c_procs.len(), n_s: s_procs.len() };
+        let mut executor = Executor::new();
+        for p in c_procs {
+            executor.add_process(p);
+        }
+        for p in s_procs {
+            executor.add_process(p);
+        }
+        EfdRun { executor, roles, fd }
+    }
+
+    /// Executes under `sched` for at most `budget` schedule slots.
+    pub fn run(&mut self, sched: &mut dyn Scheduler, budget: u64) -> StopReason {
+        let mut env = EfdEnv { fd: &mut self.fd, roles: self.roles };
+        run_schedule(&mut self.executor, sched, &mut env, budget)
+    }
+
+    /// Executes until every C-process has decided (returning the schedule
+    /// slots consumed) or the budget runs out (`None`). S-processes never
+    /// halt, so plain [`EfdRun::run`] always exhausts its budget; use this
+    /// for latency measurements.
+    pub fn run_until_decided(&mut self, sched: &mut dyn Scheduler, budget: u64) -> Option<u64> {
+        let chunk = 64;
+        let mut used = 0;
+        while used < budget {
+            if self.undecided().is_empty() {
+                return Some(used);
+            }
+            let step = chunk.min(budget - used);
+            self.run(sched, step);
+            used += step;
+        }
+        self.undecided().is_empty().then_some(used)
+    }
+
+    /// A fair scheduler over all processes, seeded.
+    pub fn fair_sched(&self, seed: u64) -> RandomSched {
+        RandomSched::over_all(&self.executor, seed)
+    }
+
+    /// The C-process output vector `O` of the run so far.
+    pub fn output_vector(&self) -> Vec<Value> {
+        self.roles
+            .c_pids()
+            .iter()
+            .map(|p| self.executor.status(*p).decision().cloned().unwrap_or(Value::Unit))
+            .collect()
+    }
+
+    /// C-processes that have not decided yet.
+    pub fn undecided(&self) -> Vec<Pid> {
+        self.roles
+            .c_pids()
+            .into_iter()
+            .filter(|p| self.executor.status(*p).decision().is_none())
+            .collect()
+    }
+}
+
+/// Everything a theorem-experiment inspects about a finished run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The input vector `I` (as supplied).
+    pub input: Vec<Value>,
+    /// The output vector `O`.
+    pub output: Vec<Value>,
+    /// Δ-validation result.
+    pub verdict: Result<(), TaskViolation>,
+    /// C-processes without an output.
+    pub undecided: Vec<Pid>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Steps taken by each C-process.
+    pub c_steps: Vec<u64>,
+}
+
+impl RunReport {
+    /// Builds the report for a finished run against `task`.
+    pub fn evaluate(run: &EfdRun, task: &dyn Task, input: &[Value], stop: StopReason) -> RunReport {
+        let output = run.output_vector();
+        RunReport {
+            input: input.to_vec(),
+            output: output.clone(),
+            verdict: task.validate(input, &output),
+            undecided: run.undecided(),
+            stop,
+            c_steps: run.roles.c_pids().iter().map(|p| run.executor.steps(*p)).collect(),
+        }
+    }
+
+    /// Panics with a diagnostic if the run violated the task.
+    pub fn assert_safe(&self) {
+        if let Err(e) = &self.verdict {
+            panic!("{e}\n  I = {:?}\n  O = {:?}", self.input, self.output);
+        }
+    }
+}
+
+/// A C-process automaton for non-participants: it halts immediately without
+/// writing or deciding (its input stays `⊥`).
+#[derive(Clone, Copy, Hash, Debug, Default)]
+pub struct Inert;
+
+impl wfa_kernel::process::Process for Inert {
+    fn step(&mut self, _ctx: &mut wfa_kernel::process::StepCtx<'_>) -> wfa_kernel::process::Status {
+        wfa_kernel::process::Status::Halted
+    }
+
+    fn label(&self) -> String {
+        "inert".to_string()
+    }
+}
+
+/// A factory assembling a fresh EFD system for given inputs — wait-freedom
+/// ensembles re-instantiate the system for every adversary. For `⊥` input
+/// entries the factory must supply a non-participating automaton
+/// (e.g. [`Inert`]).
+pub type SystemFactory<'a> =
+    dyn Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) + 'a;
+
+/// Configuration of a wait-freedom ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleConfig {
+    /// Number of C-processes (= S-processes).
+    pub n: usize,
+    /// Schedule-slot budget per run.
+    pub budget: u64,
+    /// Detector stabilization time for sampled histories.
+    pub stab: u64,
+    /// Number of adversarial runs.
+    pub runs: u64,
+}
+
+impl EnsembleConfig {
+    /// A reasonable default for small systems.
+    pub fn small(n: usize) -> EnsembleConfig {
+        EnsembleConfig { n, budget: 300_000, stab: 200, runs: 10 }
+    }
+}
+
+/// Runs an ensemble of adversarial EFD runs and checks wait-freedom + safety.
+///
+/// For each seeded run: sample a failure pattern from `env_t` crashes, a
+/// detector history via `mk_fd`, task inputs, and an adversary that stops a
+/// random subset of C-processes at random times. Every non-stopped C-process
+/// must decide within the budget; every output vector must satisfy `task`.
+///
+/// Returns the reports (one per run).
+///
+/// # Panics
+///
+/// Panics on any wait-freedom or safety violation, with diagnostics.
+pub fn wait_freedom_ensemble(
+    task: Arc<dyn Task>,
+    cfg: &EnsembleConfig,
+    max_crashes: usize,
+    mk_fd: &dyn Fn(wfa_fd::pattern::FailurePattern, u64, u64) -> FdGen,
+    factory: &SystemFactory<'_>,
+    base_seed: u64,
+) -> Vec<RunReport> {
+    let n = cfg.n;
+    let env = wfa_fd::environment::Environment::up_to(n, max_crashes.min(n - 1));
+    let mut reports = Vec::new();
+    for r in 0..cfg.runs {
+        let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(r);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Inputs: full participation capped by the task's bound.
+        let max_p = task.max_participants().min(n);
+        let mut participants = vec![false; task.arity()];
+        let mut idxs: Vec<usize> = (0..task.arity()).collect();
+        for _ in 0..max_p {
+            let pick = rng.gen_range(0..idxs.len());
+            participants[idxs.swap_remove(pick)] = true;
+        }
+        let input = task.sample_inputs(&participants, &mut rng);
+        let pattern = env.sample(seed, cfg.stab);
+        let fd = mk_fd(pattern, cfg.stab, seed);
+        let (c_procs, s_procs) = factory(&input, fd.clone());
+        let mut run = EfdRun::new(c_procs, s_procs, fd);
+        // Stop a random subset of participating C-processes at random times.
+        let mut stops: Vec<(Pid, u64)> = Vec::new();
+        for i in 0..n {
+            if participants.get(i).copied().unwrap_or(false) && rng.gen_bool(0.4) {
+                stops.push((run.roles.c(i), rng.gen_range(0..cfg.stab * 2)));
+            }
+        }
+        let base = run.fair_sched(seed ^ 0xdead);
+        let mut sched = Starve::new(base, stops.clone());
+        let stop = run.run(&mut sched, cfg.budget);
+        let report = RunReport::evaluate(&run, task.as_ref(), &input, stop);
+        report.assert_safe();
+        let stopped: Vec<Pid> = stops.iter().map(|(p, _)| *p).collect();
+        for (i, part) in participants.iter().enumerate().take(n) {
+            let pid = run.roles.c(i);
+            if *part && !stopped.contains(&pid) && report.output[i].is_unit() {
+                panic!(
+                    "wait-freedom violated (seed {seed}): C{i} took {} steps, never decided\n  stops: {stops:?}\n  pattern: {}",
+                    run.executor.steps(pid),
+                    run.fd.pattern()
+                );
+            }
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_algorithms::set_agreement::{SetAgreementC, SetAgreementS};
+    use wfa_fd::pattern::FailurePattern;
+    use wfa_tasks::agreement::SetAgreement;
+
+    fn ksa_factory(
+        n: usize,
+        k: u32,
+    ) -> impl Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) {
+        move |input: &[Value], _fd: FdGen| {
+            let c: Vec<Box<dyn DynProcess>> = input
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match v {
+                    Value::Unit => Box::new(Inert) as Box<dyn DynProcess>,
+                    v => Box::new(SetAgreementC::new(i, k, v.clone())) as Box<dyn DynProcess>,
+                })
+                .collect();
+            let s: Vec<Box<dyn DynProcess>> = (0..n)
+                .map(|q| Box::new(SetAgreementS::new(q as u32, n as u32, n, k)) as Box<dyn DynProcess>)
+                .collect();
+            (c, s)
+        }
+    }
+
+    #[test]
+    fn roles_mapping() {
+        let r = Roles { n_c: 3, n_s: 3 };
+        assert_eq!(r.c(0), Pid(0));
+        assert_eq!(r.s(0), Pid(3));
+        assert_eq!(r.sidx(Pid(4)), Some(1));
+        assert_eq!(r.sidx(Pid(2)), None);
+    }
+
+    #[test]
+    fn simple_efd_run_completes() {
+        let n = 3;
+        let k = 2u32;
+        let input: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k as usize, 100, 5);
+        let (c, s) = ksa_factory(n, k)(&input, fd.clone());
+        let mut run = EfdRun::new(c, s, fd);
+        let mut sched = run.fair_sched(1);
+        let stop = run.run(&mut sched, 200_000);
+        let task = SetAgreement::new(n, k as usize);
+        let report = RunReport::evaluate(&run, &task, &input, stop);
+        report.assert_safe();
+        assert!(report.undecided.is_empty(), "{report:?}");
+        assert!(report.c_steps.iter().all(|s| *s > 0));
+    }
+
+    #[test]
+    fn run_until_decided_reports_slots() {
+        let n = 3;
+        let k = 2u32;
+        let input: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k as usize, 50, 2);
+        let (c, s) = ksa_factory(n, k)(&input, fd.clone());
+        let mut run = EfdRun::new(c, s, fd);
+        let mut sched = run.fair_sched(3);
+        let slots = run.run_until_decided(&mut sched, 300_000).expect("all decide");
+        assert!(slots > 0 && slots < 300_000);
+        assert!(run.undecided().is_empty());
+        // Idempotent once decided.
+        let mut sched2 = run.fair_sched(4);
+        assert_eq!(run.run_until_decided(&mut sched2, 1000), Some(0));
+    }
+
+    #[test]
+    fn ensemble_passes_for_k_set_agreement() {
+        let n = 3;
+        let k = 2u32;
+        let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, k as usize));
+        let cfg = EnsembleConfig { n, budget: 300_000, stab: 150, runs: 6 };
+        let reports = wait_freedom_ensemble(
+            task,
+            &cfg,
+            n - 1,
+            &|p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed),
+            &ksa_factory(n, k),
+            42,
+        );
+        assert_eq!(reports.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait-freedom violated")]
+    fn ensemble_detects_non_wait_free_algorithms() {
+        // An algorithm whose C-processes wait for *all* inputs before
+        // deciding is not wait-free; the ensemble must catch it.
+        use wfa_algorithms::boards;
+        use wfa_kernel::process::{Process, Status, StepCtx};
+
+        #[derive(Clone, Hash)]
+        struct WaitForAll {
+            me: usize,
+            n: usize,
+            input: Value,
+            published: bool,
+            cursor: usize,
+            seen: u32,
+        }
+
+        impl Process for WaitForAll {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+                if !self.published {
+                    ctx.write(boards::input_key(self.me), self.input.clone());
+                    self.published = true;
+                    return Status::Running;
+                }
+                let v = ctx.read(boards::input_key(self.cursor));
+                if !v.is_unit() {
+                    self.seen += 1;
+                    self.cursor += 1;
+                    if self.seen == self.n as u32 {
+                        return Status::Decided(Value::Int(0));
+                    }
+                } // busy-wait on the next slot otherwise
+                Status::Running
+            }
+        }
+
+        #[derive(Clone, Hash)]
+        struct IdleS;
+        impl Process for IdleS {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+                let _ = ctx.read(boards::input_key(0));
+                Status::Running
+            }
+        }
+
+        let n = 3;
+        let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, n)); // weakest agreement: safety always ok
+        let cfg = EnsembleConfig { n, budget: 50_000, stab: 50, runs: 10 };
+        let factory = move |input: &[Value], _fd: FdGen| {
+            let c: Vec<Box<dyn DynProcess>> = (0..n)
+                .map(|i| {
+                    let v = if input[i].is_unit() { Value::Int(0) } else { input[i].clone() };
+                    Box::new(WaitForAll { me: i, n, input: v, published: false, cursor: 0, seen: 0 })
+                        as Box<dyn DynProcess>
+                })
+                .collect();
+            let s: Vec<Box<dyn DynProcess>> =
+                (0..n).map(|_| Box::new(IdleS) as Box<dyn DynProcess>).collect();
+            (c, s)
+        };
+        wait_freedom_ensemble(
+            task,
+            &cfg,
+            0,
+            &|p, stab, seed| FdGen::vector_omega_k(p, 1, stab, seed),
+            &factory,
+            7,
+        );
+    }
+}

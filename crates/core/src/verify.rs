@@ -1,0 +1,174 @@
+//! Independent run verifiers.
+//!
+//! The schedulers *generate* constrained runs; the verifiers here *measure*
+//! runs after (or while) they happen, with no trust in the generator:
+//!
+//! * [`ConcurrencyMeter`] — the maximum number of simultaneously
+//!   participating-undecided processes a run ever exhibited (the paper's
+//!   concurrency level of a run, §2.2), observed step by step;
+//! * [`WaitFreedomMeter`] — per-process own-step counts split at the
+//!   detector's stabilization time: the paper's wait-freedom bound is the
+//!   post-stabilization column (a C-process's own work once the advice is
+//!   good).
+//!
+//! The meters drive the executor themselves (observing after every step),
+//! so they compose with any scheduler and environment.
+
+use wfa_kernel::executor::Executor;
+use wfa_kernel::sched::{Scheduler, StepEnv};
+use wfa_kernel::value::Pid;
+
+/// Measures the concurrency level of a run (§2.2).
+#[derive(Clone, Debug)]
+pub struct ConcurrencyMeter {
+    watched: Vec<Pid>,
+    max_seen: usize,
+}
+
+impl ConcurrencyMeter {
+    /// Watches the given (C-)processes.
+    pub fn new(watched: Vec<Pid>) -> ConcurrencyMeter {
+        ConcurrencyMeter { watched, max_seen: 0 }
+    }
+
+    /// Records the current instantaneous concurrency.
+    pub fn observe(&mut self, ex: &Executor) {
+        let now = self
+            .watched
+            .iter()
+            .filter(|p| ex.participating(**p) && ex.status(**p).is_running())
+            .count();
+        self.max_seen = self.max_seen.max(now);
+    }
+
+    /// The maximum concurrency observed so far.
+    pub fn max_concurrency(&self) -> usize {
+        self.max_seen
+    }
+}
+
+/// Per-process step accounting around a stabilization time.
+#[derive(Clone, Debug)]
+pub struct WaitFreedomMeter {
+    watched: Vec<Pid>,
+    stab: u64,
+    at_stab: Vec<Option<u64>>,
+    decided_steps: Vec<Option<u64>>,
+}
+
+impl WaitFreedomMeter {
+    /// Watches `watched`, splitting step counts at time `stab`.
+    pub fn new(watched: Vec<Pid>, stab: u64) -> WaitFreedomMeter {
+        let n = watched.len();
+        WaitFreedomMeter { watched, stab, at_stab: vec![None; n], decided_steps: vec![None; n] }
+    }
+
+    /// Records progress after a step at time `now`.
+    pub fn observe(&mut self, ex: &Executor, now: u64) {
+        for (i, p) in self.watched.iter().enumerate() {
+            if now >= self.stab && self.at_stab[i].is_none() {
+                self.at_stab[i] = Some(ex.steps(*p));
+            }
+            if self.decided_steps[i].is_none() && ex.status(*p).decision().is_some() {
+                self.decided_steps[i] = Some(ex.steps(*p));
+            }
+        }
+    }
+
+    /// For each watched process: its own steps taken *after* stabilization
+    /// and before deciding (`None` if still undecided) — the operational
+    /// wait-freedom bound.
+    pub fn post_stab_steps(&self) -> Vec<Option<u64>> {
+        self.watched
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match (self.decided_steps[i], self.at_stab[i]) {
+                (Some(d), Some(s)) => Some(d.saturating_sub(s)),
+                (Some(d), None) => Some(d), // decided before stabilization
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Drives `ex` under `sched`/`env` for up to `budget` slots, observing both
+/// meters after every step. Returns the slots consumed.
+pub fn run_measured(
+    ex: &mut Executor,
+    sched: &mut dyn Scheduler,
+    env: &mut dyn StepEnv,
+    budget: u64,
+    conc: &mut ConcurrencyMeter,
+    wf: &mut WaitFreedomMeter,
+) -> u64 {
+    for used in 0..budget {
+        let Some(pid) = sched.next(ex) else { return used };
+        let now = ex.clock();
+        if !env.is_alive(pid, now) {
+            continue;
+        }
+        let fd = env.fd_output(pid, now);
+        ex.step(pid, fd.as_ref());
+        conc.observe(ex);
+        wf.observe(ex, now);
+    }
+    budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_algorithms::renaming::RenamingFig4;
+    use wfa_kernel::sched::{KConcurrent, NullEnv};
+
+    fn build(j: usize, m: usize) -> (Executor, Vec<Pid>) {
+        let mut ex = Executor::new();
+        let pids: Vec<Pid> =
+            (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
+        (ex, pids)
+    }
+
+    #[test]
+    fn meter_confirms_the_k_concurrent_scheduler() {
+        for k in 1..=3usize {
+            for seed in 0..20 {
+                let (mut ex, pids) = build(4, 5);
+                let mut sched = KConcurrent::with_seed(pids.clone(), [], k, seed);
+                let mut conc = ConcurrencyMeter::new(pids.clone());
+                let mut wf = WaitFreedomMeter::new(pids.clone(), 0);
+                run_measured(&mut ex, &mut sched, &mut NullEnv, 500_000, &mut conc, &mut wf);
+                assert!(
+                    conc.max_concurrency() <= k,
+                    "k={k} seed={seed}: measured {}",
+                    conc.max_concurrency()
+                );
+                assert!(conc.max_concurrency() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn meter_catches_unconstrained_runs() {
+        // A fair random schedule over 4 processes must exceed concurrency 1.
+        let (mut ex, pids) = build(4, 5);
+        let mut sched = wfa_kernel::sched::RandomSched::new(pids.clone(), 3);
+        let mut conc = ConcurrencyMeter::new(pids.clone());
+        let mut wf = WaitFreedomMeter::new(pids.clone(), 0);
+        run_measured(&mut ex, &mut sched, &mut NullEnv, 500_000, &mut conc, &mut wf);
+        assert!(conc.max_concurrency() >= 2, "measured {}", conc.max_concurrency());
+    }
+
+    #[test]
+    fn wait_freedom_meter_reports_decision_steps() {
+        let (mut ex, pids) = build(3, 4);
+        let mut sched = KConcurrent::with_seed(pids.clone(), [], 2, 7);
+        let mut conc = ConcurrencyMeter::new(pids.clone());
+        let mut wf = WaitFreedomMeter::new(pids.clone(), 0);
+        run_measured(&mut ex, &mut sched, &mut NullEnv, 500_000, &mut conc, &mut wf);
+        let steps = wf.post_stab_steps();
+        for (i, s) in steps.iter().enumerate() {
+            let s = s.unwrap_or_else(|| panic!("P{i} undecided"));
+            assert!(s > 0 && s < 1000, "P{i}: implausible step count {s}");
+        }
+    }
+}

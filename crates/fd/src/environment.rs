@@ -1,0 +1,163 @@
+//! Environments (§2.1): sets of allowed failure patterns.
+//!
+//! An environment `E` describes where and when S-processes may fail. The
+//! canonical family is `E_t` — all patterns with at most `t` faulty
+//! S-processes (and, per the paper's standing assumption, at least one
+//! correct one). [`Environment`] both *samples* patterns (for randomized
+//! ensembles) and *enumerates* structured families of them (for exhaustive
+//! small-instance experiments).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::pattern::FailurePattern;
+
+/// The environment `E_t` over `n` S-processes: up to `t` crashes.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_fd::environment::Environment;
+/// let env = Environment::up_to(4, 2);
+/// let f = env.sample(99, 1_000);
+/// assert!(f.faulty().len() <= 2);
+/// assert!(!f.correct().is_empty());
+/// assert!(env.contains(&f));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Environment {
+    n: usize,
+    t: usize,
+}
+
+impl Environment {
+    /// `E_t` over `n` S-processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= n` would allow all processes to fail, or `n == 0`.
+    pub fn up_to(n: usize, t: usize) -> Environment {
+        assert!(n > 0, "need at least one S-process");
+        assert!(t < n, "E_t requires at least one correct S-process (t < n)");
+        Environment { n, t }
+    }
+
+    /// The wait-free environment `E_{n−1}`: any majority—indeed all but
+    /// one—of the S-processes may fail.
+    pub fn wait_free(n: usize) -> Environment {
+        Environment::up_to(n, n.saturating_sub(1))
+    }
+
+    /// The failure-free environment `E_0`.
+    pub fn failure_free(n: usize) -> Environment {
+        Environment::up_to(n, 0)
+    }
+
+    /// Number of S-processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of faulty S-processes.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// `true` iff `f` is one of this environment's failure patterns.
+    pub fn contains(&self, f: &FailurePattern) -> bool {
+        f.n() == self.n && f.faulty().len() <= self.t
+    }
+
+    /// Samples a pattern: a uniform number `≤ t` of faulty processes, chosen
+    /// uniformly, with crash times uniform in `[0, horizon)`. Deterministic
+    /// in `seed`.
+    pub fn sample(&self, seed: u64, horizon: u64) -> FailurePattern {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = rng.gen_range(0..=self.t);
+        let mut procs: Vec<usize> = (0..self.n).collect();
+        procs.shuffle(&mut rng);
+        let crashes: Vec<(usize, u64)> = procs[..f]
+            .iter()
+            .map(|&q| (q, rng.gen_range(0..horizon.max(1))))
+            .collect();
+        FailurePattern::with_crashes(self.n, &crashes)
+    }
+
+    /// Enumerates every pattern in which exactly the processes of each
+    /// subset of size `≤ t` crash at time `crash_at` — the qualitative
+    /// pattern family (who fails) at a fixed crash time (when).
+    pub fn enumerate_at(&self, crash_at: u64) -> Vec<FailurePattern> {
+        let mut out = Vec::new();
+        // Iterate subsets of {0..n} by bitmask; keep those with ≤ t bits and
+        // at least one process left correct.
+        for mask in 0u32..(1u32 << self.n) {
+            let count = mask.count_ones() as usize;
+            if count > self.t || count == self.n {
+                continue;
+            }
+            let crashes: Vec<(usize, u64)> =
+                (0..self.n).filter(|q| mask & (1 << q) != 0).map(|q| (q, crash_at)).collect();
+            out.push(FailurePattern::with_crashes(self.n, &crashes));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_deterministic() {
+        let env = Environment::up_to(5, 3);
+        assert_eq!(env.sample(42, 100), env.sample(42, 100));
+    }
+
+    #[test]
+    fn sample_respects_bound() {
+        let env = Environment::up_to(6, 4);
+        for seed in 0..200 {
+            let f = env.sample(seed, 50);
+            assert!(f.faulty().len() <= 4, "seed {seed}: {f}");
+            assert!(!f.correct().is_empty());
+            assert!(env.contains(&f));
+        }
+    }
+
+    #[test]
+    fn failure_free_env_never_crashes() {
+        let env = Environment::failure_free(3);
+        for seed in 0..20 {
+            assert!(env.sample(seed, 10).faulty().is_empty());
+        }
+    }
+
+    #[test]
+    fn wait_free_env_allows_n_minus_1() {
+        let env = Environment::wait_free(4);
+        assert_eq!(env.t(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n")]
+    fn all_faulty_env_rejected() {
+        Environment::up_to(3, 3);
+    }
+
+    #[test]
+    fn enumerate_counts_subsets() {
+        // n=3, t=1: {} plus 3 singletons = 4 patterns.
+        assert_eq!(Environment::up_to(3, 1).enumerate_at(5).len(), 4);
+        // n=3, t=2: 1 + 3 + 3 = 7.
+        assert_eq!(Environment::up_to(3, 2).enumerate_at(5).len(), 7);
+    }
+
+    #[test]
+    fn enumerate_patterns_in_env() {
+        let env = Environment::up_to(4, 2);
+        for f in env.enumerate_at(3) {
+            assert!(env.contains(&f));
+        }
+    }
+}

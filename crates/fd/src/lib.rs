@@ -1,0 +1,49 @@
+//! # wfa-fd — failure patterns, environments and failure detectors
+//!
+//! The failure-detection substrate of the *Wait-Freedom with Advice*
+//! reproduction (§2.1–§2.3 of the paper):
+//!
+//! * [`pattern::FailurePattern`] — crash times of S-processes (`F`);
+//! * [`environment::Environment`] — the environments `E_t` (allowed
+//!   patterns), with sampling and exhaustive enumeration;
+//! * [`detectors::FdGen`] — history generators for the trivial detector,
+//!   `P`, `◇P`, `Ω`, `¬Ωk` (anti-Ω-k) and `→Ωk` (vector-Ω-k), each with an
+//!   explicit stabilization time and adversarial pre-stabilization noise,
+//!   recording the sampled history `H ∈ D(F)`;
+//! * [`spec`] — checkers validating recorded histories against the formal
+//!   detector definitions (returning the existential witnesses);
+//! * [`reduction`] — the memoryless detector reductions used by the paper's
+//!   constructions (`¬Ω1 ⇒ Ω`, `→Ωk ⇒ ¬Ωk`, `¬Ωk ⇒ ¬Ωx` for `x ≥ k`).
+//!
+//! ```
+//! use wfa_fd::prelude::*;
+//!
+//! // Sample an Ω history in E_1 over 3 S-processes and check it.
+//! let env = Environment::up_to(3, 1);
+//! let f = env.sample(7, 100);
+//! let mut omega = FdGen::omega(f.clone(), 50, 7);
+//! for t in 0..200 {
+//!     for q in 0..3 {
+//!         if f.is_alive(q, t) { omega.output(q, t); }
+//!     }
+//! }
+//! let w = check_omega(&f, omega.history(), 100).expect("Ω spec");
+//! assert!(f.is_correct(w.who));
+//! ```
+
+pub mod detectors;
+pub mod environment;
+pub mod pattern;
+pub mod reduction;
+pub mod spec;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::detectors::{FdGen, HistoryEntry};
+    pub use crate::environment::Environment;
+    pub use crate::pattern::{FailurePattern, SIdx};
+    pub use crate::reduction::{anti_omega_from_vector, omega_from_anti_omega_1, widen_anti_omega};
+    pub use crate::spec::{
+        check_anti_omega_k, check_omega, check_perfect, check_vector_omega_k, Witness,
+    };
+}

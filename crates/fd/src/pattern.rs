@@ -1,0 +1,163 @@
+//! Failure patterns (§2.1).
+//!
+//! Only S-processes fail. A failure pattern `F` maps each time `τ` to the set
+//! of S-processes that have crashed by `τ`; crashes are permanent. We
+//! represent `F` by its crash times: S-process `q` is in `F(τ)` iff
+//! `crash_time[q] ≤ τ`.
+
+use std::fmt;
+
+/// Index of an S-process (`q_1 … q_n` in the paper; 0-based here).
+pub type SIdx = usize;
+
+/// A failure pattern over `n` S-processes.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_fd::pattern::FailurePattern;
+/// let f = FailurePattern::with_crashes(4, &[(1, 10), (3, 0)]);
+/// assert!(f.is_alive(0, 1_000_000));
+/// assert!(f.is_alive(1, 9) && !f.is_alive(1, 10));
+/// assert_eq!(f.correct(), vec![0, 2]);
+/// assert_eq!(f.faulty(), vec![1, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FailurePattern {
+    crash_time: Vec<Option<u64>>,
+}
+
+impl FailurePattern {
+    /// The failure-free pattern over `n` S-processes.
+    pub fn failure_free(n: usize) -> FailurePattern {
+        FailurePattern { crash_time: vec![None; n] }
+    }
+
+    /// A pattern where each `(q, τ)` in `crashes` crashes `q` at time `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash index is out of range, a process is listed twice, or
+    /// every process would be faulty (the paper assumes at least one correct
+    /// S-process in every environment, §2.1).
+    pub fn with_crashes(n: usize, crashes: &[(SIdx, u64)]) -> FailurePattern {
+        let mut crash_time = vec![None; n];
+        for &(q, t) in crashes {
+            assert!(q < n, "S-process index {q} out of range (n={n})");
+            assert!(crash_time[q].is_none(), "S-process {q} listed twice");
+            crash_time[q] = Some(t);
+        }
+        assert!(
+            crash_time.iter().any(Option::is_none),
+            "at least one S-process must be correct"
+        );
+        FailurePattern { crash_time }
+    }
+
+    /// Number of S-processes.
+    pub fn n(&self) -> usize {
+        self.crash_time.len()
+    }
+
+    /// `true` iff `q` has not crashed by time `t` (i.e. `q ∉ F(t)`).
+    pub fn is_alive(&self, q: SIdx, t: u64) -> bool {
+        match self.crash_time[q] {
+            Some(ct) => t < ct,
+            None => true,
+        }
+    }
+
+    /// `true` iff `q` never crashes in this pattern.
+    pub fn is_correct(&self, q: SIdx) -> bool {
+        self.crash_time[q].is_none()
+    }
+
+    /// `correct(F)`: the S-processes taking infinitely many steps.
+    pub fn correct(&self) -> Vec<SIdx> {
+        (0..self.n()).filter(|q| self.is_correct(*q)).collect()
+    }
+
+    /// `faulty(F)`: the S-processes that eventually crash.
+    pub fn faulty(&self) -> Vec<SIdx> {
+        (0..self.n()).filter(|q| !self.is_correct(*q)).collect()
+    }
+
+    /// The crash time of `q`, if faulty.
+    pub fn crash_time(&self, q: SIdx) -> Option<u64> {
+        self.crash_time[q]
+    }
+
+    /// `F(t)`: the set of S-processes crashed by time `t`.
+    pub fn crashed_by(&self, t: u64) -> Vec<SIdx> {
+        (0..self.n()).filter(|q| !self.is_alive(*q, t)).collect()
+    }
+
+    /// The largest crash time in the pattern (0 if failure-free): after this
+    /// time the set of alive processes is exactly `correct(F)`.
+    pub fn last_crash_time(&self) -> u64 {
+        self.crash_time.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FailurePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F[")?;
+        for (q, ct) in self.crash_time.iter().enumerate() {
+            if q > 0 {
+                write!(f, " ")?;
+            }
+            match ct {
+                None => write!(f, "q{q}:ok")?,
+                Some(t) => write!(f, "q{q}:†{t}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_everyone_correct() {
+        let f = FailurePattern::failure_free(3);
+        assert_eq!(f.correct(), vec![0, 1, 2]);
+        assert!(f.faulty().is_empty());
+        assert_eq!(f.last_crash_time(), 0);
+    }
+
+    #[test]
+    fn crashes_are_permanent_and_monotone() {
+        let f = FailurePattern::with_crashes(3, &[(2, 5)]);
+        assert!(f.is_alive(2, 4));
+        assert!(!f.is_alive(2, 5));
+        assert!(!f.is_alive(2, 6)); // F(τ) ⊆ F(τ+1)
+        assert_eq!(f.crashed_by(4), Vec::<usize>::new());
+        assert_eq!(f.crashed_by(5), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one S-process must be correct")]
+    fn all_faulty_rejected() {
+        FailurePattern::with_crashes(2, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_crash_rejected() {
+        FailurePattern::with_crashes(3, &[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = FailurePattern::with_crashes(2, &[(1, 7)]);
+        assert_eq!(f.to_string(), "F[q0:ok q1:†7]");
+    }
+
+    #[test]
+    fn last_crash_time_is_max() {
+        let f = FailurePattern::with_crashes(4, &[(1, 7), (2, 30)]);
+        assert_eq!(f.last_crash_time(), 30);
+    }
+}

@@ -1,0 +1,197 @@
+//! Failure-detector reductions (value transformers).
+//!
+//! In the paper, `D'` is weaker than `D` if the S-processes can emulate `D'`
+//! from `D` (§2.2). The reductions used by the paper's constructions are
+//! *memoryless*: each emulated output is a pure function of one queried
+//! value. This module provides those transformers together with the
+//! correctness arguments; the property-based tests apply each transformer to
+//! generated source histories and check the target specification on the
+//! result.
+//!
+//! * [`omega_from_anti_omega_1`] — `¬Ω1 ⇒ Ω` (§2.3: ¬Ω1 is equivalent to Ω):
+//!   a `(n−1)`-set eventually never containing the correct `q*` has
+//!   complement exactly `{q*}`.
+//! * [`anti_omega_from_vector`] — `→Ωk ⇒ ¬Ωk`: any `(n−k)`-set disjoint from
+//!   the vector avoids the eventually-stable correct entry.
+//! * [`widen_anti_omega`] — `¬Ωk ⇒ ¬Ωx` for `x ≥ k`: any `(n−x)`-subset of
+//!   the output still never contains the shielded process (used by the
+//!   Theorem 7 induction, §3).
+//!
+//! The remaining direction `¬Ωk ⇒ →Ωk` is **not** memoryless — it is
+//! Zieliński's construction \[28\], which the paper cites as an external
+//! equivalence. We follow the paper and treat `→Ωk` as the operational form
+//! (our solvers consume `→Ωk`; the theorems' statements in terms of `¬Ωk`
+//! hold via \[28\]). This substitution is recorded in `DESIGN.md`.
+
+use wfa_kernel::value::Value;
+
+/// Emulates `Ω` from a `¬Ω1` output: the unique S-process **not** in the
+/// `(n−1)`-set.
+///
+/// After `¬Ω1` stabilizes, its outputs never contain some correct `q*`; a set
+/// of size `n−1` avoiding `q*` is exactly `Π^S − {q*}`, so the complement is
+/// `{q*}` — a stable correct leader.
+///
+/// # Panics
+///
+/// Panics if `val` is not an `(n−1)`-set of S-indices in range.
+pub fn omega_from_anti_omega_1(n: usize, val: &Value) -> Value {
+    let set = val.as_tuple().expect("¬Ω1 output must be a tuple");
+    assert_eq!(set.len(), n - 1, "¬Ω1 output must have n−1 members");
+    let mut present = vec![false; n];
+    for m in set {
+        let q = m.as_int().expect("¬Ω1 member must be an Int") as usize;
+        assert!(q < n, "S-index out of range");
+        present[q] = true;
+    }
+    let leader = (0..n).find(|q| !present[*q]).expect("no complement — duplicate members?");
+    Value::Int(leader as i64)
+}
+
+/// Emulates `¬Ωk` from a `→Ωk` output: the `n−k` smallest S-indices not
+/// appearing in the vector (padded with the largest vector members if the
+/// vector has duplicates).
+///
+/// After `→Ωk` stabilizes, position `ℓ*` always holds the correct `q*`, so
+/// `q*` is always a vector member and never in the emulated output.
+///
+/// # Panics
+///
+/// Panics if `val` is not a k-vector of S-indices in range, or `k > n`.
+pub fn anti_omega_from_vector(n: usize, val: &Value) -> Value {
+    let vec = val.as_tuple().expect("→Ωk output must be a tuple");
+    let k = vec.len();
+    assert!(k <= n, "vector longer than n");
+    let mut in_vec = vec![false; n];
+    for m in vec {
+        let q = m.as_int().expect("→Ωk member must be an Int") as usize;
+        assert!(q < n, "S-index out of range");
+        in_vec[q] = true;
+    }
+    let mut out: Vec<i64> = (0..n).filter(|q| !in_vec[*q]).map(|q| q as i64).collect();
+    // With duplicate vector entries the complement exceeds n−k; keep the
+    // smallest n−k (still disjoint from the vector, so still avoids q*).
+    out.truncate(n - k);
+    // With no duplicates the complement is exactly n−k, so this is complete.
+    debug_assert_eq!(out.len(), n - k);
+    Value::ints(out)
+}
+
+/// Weakens `¬Ωk` to `¬Ωx` for `x ≥ k`: keep the `n−x` smallest members of
+/// the `(n−k)`-set.
+///
+/// A subset of a set avoiding `q*` still avoids `q*`, so the emulated
+/// detector satisfies the `¬Ωx` specification. Used in the Theorem 7
+/// downward induction where `(Π,x)`-set agreement needs `¬Ωx` for `x ≥ k`.
+///
+/// # Panics
+///
+/// Panics if `x < k`, or `val` is not an `(n−k)`-set of S-indices.
+pub fn widen_anti_omega(n: usize, k: usize, x: usize, val: &Value) -> Value {
+    assert!(x >= k, "can only widen: x ≥ k");
+    let set = val.as_tuple().expect("¬Ωk output must be a tuple");
+    assert_eq!(set.len(), n - k, "¬Ωk output must have n−k members");
+    let mut members: Vec<i64> = set.iter().map(|m| m.as_int().expect("Int member")).collect();
+    members.sort_unstable();
+    members.truncate(n - x);
+    Value::ints(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::{FdGen, HistoryEntry};
+    use crate::pattern::FailurePattern;
+    use crate::spec::{check_anti_omega_k, check_omega, check_vector_omega_k};
+
+    fn pat(n: usize) -> FailurePattern {
+        FailurePattern::with_crashes(n, &[(0, 30)])
+    }
+
+    fn drive(mut fd: FdGen, until: u64) -> FdGen {
+        for t in 0..until {
+            for q in 0..fd.pattern().n() {
+                if fd.pattern().is_alive(q, t) {
+                    fd.output(q, t);
+                }
+            }
+        }
+        fd
+    }
+
+    fn transform(history: &[HistoryEntry], f: impl Fn(&Value) -> Value) -> Vec<HistoryEntry> {
+        history
+            .iter()
+            .map(|e| HistoryEntry { q: e.q, t: e.t, val: f(&e.val) })
+            .collect()
+    }
+
+    #[test]
+    fn omega_from_anti_omega_1_satisfies_omega() {
+        let n = 5;
+        let fd = drive(FdGen::anti_omega_k(pat(n), 1, 60, 7), 200);
+        let emulated = transform(fd.history(), |v| omega_from_anti_omega_1(n, v));
+        let w = check_omega(fd.pattern(), &emulated, 100).expect("emulated Ω violates spec");
+        assert!(fd.pattern().is_correct(w.who));
+    }
+
+    #[test]
+    fn anti_omega_from_vector_satisfies_anti_omega() {
+        let n = 6;
+        for k in 1..=4 {
+            let fd = drive(FdGen::vector_omega_k(pat(n), k, 60, 11), 200);
+            // source satisfies →Ωk
+            assert!(check_vector_omega_k(fd.pattern(), fd.history(), k, 100).is_some());
+            let emulated = transform(fd.history(), |v| anti_omega_from_vector(n, v));
+            let w = check_anti_omega_k(fd.pattern(), &emulated, k, 100)
+                .unwrap_or_else(|| panic!("emulated ¬Ω{k} violates spec"));
+            assert!(fd.pattern().is_correct(w.who));
+        }
+    }
+
+    #[test]
+    fn widen_preserves_anti_omega() {
+        let n = 6;
+        let k = 2;
+        let fd = drive(FdGen::anti_omega_k(pat(n), k, 60, 13), 200);
+        for x in k..=5 {
+            let emulated = transform(fd.history(), |v| widen_anti_omega(n, k, x, v));
+            assert!(
+                check_anti_omega_k(fd.pattern(), &emulated, x, 100).is_some(),
+                "widened ¬Ω{x} violates spec"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_identity() {
+        // ¬Ω1 output (n−1)-set {0,1,3} over n=4 → leader 2.
+        let v = Value::ints([0, 1, 3]);
+        assert_eq!(omega_from_anti_omega_1(4, &v), Value::Int(2));
+    }
+
+    #[test]
+    fn vector_complement_is_disjoint() {
+        let v = Value::ints([1, 3]);
+        let out = anti_omega_from_vector(5, &v);
+        let set = out.to_pid_vec(); // not pids — decode manually
+        assert!(set.is_none());
+        let members: Vec<i64> =
+            out.as_tuple().unwrap().iter().map(|m| m.as_int().unwrap()).collect();
+        assert_eq!(members, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn vector_with_duplicates_still_produces_n_minus_k() {
+        let v = Value::ints([2, 2, 2]); // k=3, n=6: complement has 5 members
+        let out = anti_omega_from_vector(6, &v);
+        assert_eq!(out.as_tuple().unwrap().len(), 3);
+        assert!(!out.as_tuple().unwrap().contains(&Value::Int(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "x ≥ k")]
+    fn narrowing_rejected() {
+        widen_anti_omega(5, 3, 2, &Value::ints([0, 1]));
+    }
+}

@@ -1,0 +1,291 @@
+//! Failure-detector specification checkers.
+//!
+//! Each checker validates a *recorded, finite* history against the formal
+//! definition of a detector class, returning the witness the definition
+//! existentially quantifies (a stabilization time `τ` and a leader /
+//! shielded process). Finite runs cannot prove an "eventually", so the
+//! checkers verify the finite-run shadow of the property: the witness holds
+//! over the *entire recorded suffix* after `τ`, and `τ` is strictly before
+//! the last recorded query (so the suffix is non-vacuous). Harnesses
+//! additionally bound `τ` by the generator's declared stabilization time.
+
+use wfa_kernel::value::Value;
+
+use crate::detectors::HistoryEntry;
+use crate::pattern::{FailurePattern, SIdx};
+
+/// Witness extracted from a history: the property holds from `tau` on, with
+/// `who` as the distinguished process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// The distinguished S-process (leader for Ω/→Ωk, the never-output
+    /// process for ¬Ωk).
+    pub who: SIdx,
+    /// All entries with `t > tau` satisfy the stable property.
+    pub tau: u64,
+}
+
+/// Entries made by correct processes (the specifications quantify over
+/// correct processes' module outputs).
+fn correct_entries<'a>(
+    pattern: &FailurePattern,
+    history: &'a [HistoryEntry],
+) -> Vec<&'a HistoryEntry> {
+    history.iter().filter(|e| pattern.is_correct(e.q)).collect()
+}
+
+/// Decodes a tuple-of-int value as a set of S-indices.
+///
+/// Returns `None` on any shape violation (not a tuple, non-int member,
+/// out-of-range index).
+fn as_sidx_set(v: &Value, n: usize) -> Option<Vec<SIdx>> {
+    let t = v.as_tuple()?;
+    let mut out = Vec::with_capacity(t.len());
+    for m in t {
+        let x = m.as_int()?;
+        if x < 0 || x as usize >= n {
+            return None;
+        }
+        out.push(x as usize);
+    }
+    Some(out)
+}
+
+/// Checks the `Ω` property: some correct process is eventually permanently
+/// output at all correct processes.
+///
+/// `tail` is the non-vacuity margin: the stable suffix must span at least
+/// the last `tail` time units of the recorded history (a finite run cannot
+/// witness "forever"; it can witness "for the final `tail`-long window").
+///
+/// Returns the leader and the latest time a correct process output anything
+/// else.
+pub fn check_omega(
+    pattern: &FailurePattern,
+    history: &[HistoryEntry],
+    tail: u64,
+) -> Option<Witness> {
+    let entries = correct_entries(pattern, history);
+    let last = entries.last()?;
+    let leader = last.val.as_int()?;
+    if leader < 0 || leader as usize >= pattern.n() || !pattern.is_correct(leader as usize) {
+        return None;
+    }
+    let tau = entries
+        .iter()
+        .filter(|e| e.val != Value::Int(leader))
+        .map(|e| e.t)
+        .max()
+        .unwrap_or(0);
+    if tau.saturating_add(tail) > last.t {
+        return None; // stable suffix too short to be a credible witness
+    }
+    Some(Witness { who: leader as usize, tau })
+}
+
+/// Checks the `¬Ωk` property: every output is an (n−k)-set of S-processes,
+/// and some correct process is eventually never output by correct processes.
+///
+/// `tail` is the non-vacuity margin (see [`check_omega`]). Returns the
+/// shielded process with the smallest last-mention time.
+pub fn check_anti_omega_k(
+    pattern: &FailurePattern,
+    history: &[HistoryEntry],
+    k: usize,
+    tail: u64,
+) -> Option<Witness> {
+    let n = pattern.n();
+    let entries = correct_entries(pattern, history);
+    let last_t = entries.last()?.t;
+    // Shape check on *all* entries (faulty processes' outputs must still be
+    // well-formed (n−k)-sets).
+    for e in history {
+        let set = as_sidx_set(&e.val, n)?;
+        if set.len() != n - k {
+            return None;
+        }
+        let mut dedup = set.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.len() != set.len() {
+            return None;
+        }
+    }
+    // last_mention[c] = latest time a correct process output a set with c.
+    let mut best: Option<Witness> = None;
+    for c in pattern.correct() {
+        let tau = entries
+            .iter()
+            .filter(|e| as_sidx_set(&e.val, n).is_some_and(|s| s.contains(&c)))
+            .map(|e| e.t)
+            .max()
+            .unwrap_or(0);
+        if tau.saturating_add(tail) <= last_t && best.is_none_or(|b| tau < b.tau) {
+            best = Some(Witness { who: c, tau });
+        }
+    }
+    best
+}
+
+/// Checks the `→Ωk` property: every output is a k-vector of S-processes and
+/// some position eventually holds the same correct process at all correct
+/// processes.
+pub fn check_vector_omega_k(
+    pattern: &FailurePattern,
+    history: &[HistoryEntry],
+    k: usize,
+    tail: u64,
+) -> Option<Witness> {
+    let n = pattern.n();
+    for e in history {
+        let vec = as_sidx_set(&e.val, n)?;
+        if vec.len() != k {
+            return None;
+        }
+    }
+    let entries = correct_entries(pattern, history);
+    let last_t = entries.last()?.t;
+    let mut best: Option<Witness> = None;
+    for pos in 0..k {
+        for c in pattern.correct() {
+            let tau = entries
+                .iter()
+                .filter(|e| as_sidx_set(&e.val, n).is_some_and(|v| v[pos] != c))
+                .map(|e| e.t)
+                .max()
+                .unwrap_or(0);
+            if tau.saturating_add(tail) <= last_t && best.is_none_or(|b| tau < b.tau) {
+                best = Some(Witness { who: c, tau });
+            }
+        }
+    }
+    best
+}
+
+/// Checks the perfect-detector property `P` on a finite history: *strong
+/// accuracy* (no process is suspected before it crashes) and *completeness on
+/// the recorded suffix* (entries after the last crash contain every faulty
+/// process).
+pub fn check_perfect(pattern: &FailurePattern, history: &[HistoryEntry]) -> bool {
+    let n = pattern.n();
+    let faulty = pattern.faulty();
+    let last_crash = pattern.last_crash_time();
+    for e in history {
+        let Some(set) = as_sidx_set(&e.val, n) else { return false };
+        // accuracy: suspected ⊆ crashed-by-now
+        if !set.iter().all(|q| !pattern.is_alive(*q, e.t)) {
+            return false;
+        }
+        // completeness after every crash has happened
+        if e.t > last_crash && !faulty.iter().all(|q| set.contains(q)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::FdGen;
+
+    fn pat() -> FailurePattern {
+        FailurePattern::with_crashes(5, &[(1, 20), (4, 60)])
+    }
+
+    /// Drives a generator through a fair query schedule and returns it.
+    fn drive(mut fd: FdGen, until: u64) -> FdGen {
+        for t in 0..until {
+            for q in 0..fd.pattern().n() {
+                if fd.pattern().is_alive(q, t) {
+                    fd.output(q, t);
+                }
+            }
+        }
+        fd
+    }
+
+    #[test]
+    fn generated_omega_satisfies_spec() {
+        let fd = drive(FdGen::omega(pat(), 100, 3), 300);
+        let w = check_omega(fd.pattern(), fd.history(), 100).expect("Ω spec violated");
+        assert!(fd.pattern().is_correct(w.who));
+        assert!(w.tau < 100, "stabilized no later than declared: tau={}", w.tau);
+    }
+
+    #[test]
+    fn generated_anti_omega_k_satisfies_spec() {
+        for k in 1..=3 {
+            let fd = drive(FdGen::anti_omega_k(pat(), k, 80, 5), 300);
+            let w = check_anti_omega_k(fd.pattern(), fd.history(), k, 100)
+                .unwrap_or_else(|| panic!("¬Ω{k} spec violated"));
+            assert!(fd.pattern().is_correct(w.who));
+            assert!(w.tau < 80);
+        }
+    }
+
+    #[test]
+    fn generated_vector_omega_k_satisfies_spec() {
+        for k in 1..=3 {
+            let fd = drive(FdGen::vector_omega_k(pat(), k, 80, 9), 300);
+            let w = check_vector_omega_k(fd.pattern(), fd.history(), k, 100)
+                .unwrap_or_else(|| panic!("→Ω{k} spec violated"));
+            assert!(fd.pattern().is_correct(w.who));
+        }
+    }
+
+    #[test]
+    fn generated_perfect_satisfies_spec() {
+        let fd = drive(FdGen::perfect(pat()), 200);
+        assert!(check_perfect(fd.pattern(), fd.history()));
+    }
+
+    #[test]
+    fn omega_check_rejects_unstable_history() {
+        // A "leader" that alternates forever is not Ω.
+        let f = FailurePattern::failure_free(2);
+        let history: Vec<HistoryEntry> = (0..50)
+            .map(|t| HistoryEntry { q: 0, t, val: Value::Int((t % 2) as i64) })
+            .collect();
+        assert_eq!(check_omega(&f, &history, 10), None);
+    }
+
+    #[test]
+    fn omega_check_rejects_faulty_leader() {
+        let f = FailurePattern::with_crashes(2, &[(1, 1_000_000)]);
+        // Permanently outputs q1, which is faulty (crashes far in the future).
+        let history: Vec<HistoryEntry> =
+            (0..50).map(|t| HistoryEntry { q: 0, t, val: Value::Int(1) }).collect();
+        assert_eq!(check_omega(&f, &history, 10), None);
+    }
+
+    #[test]
+    fn anti_omega_check_rejects_wrong_arity() {
+        let f = FailurePattern::failure_free(4);
+        let history =
+            vec![HistoryEntry { q: 0, t: 0, val: Value::ints([0, 1, 2]) }]; // n−k = 2 expected for k=2
+        assert_eq!(check_anti_omega_k(&f, &history, 2, 10), None);
+    }
+
+    #[test]
+    fn anti_omega_check_rejects_everybody_mentioned_forever() {
+        let f = FailurePattern::failure_free(3);
+        // k=1: outputs 2-sets; rotate so every process is mentioned through
+        // the very last entries.
+        let history: Vec<HistoryEntry> = (0..60)
+            .map(|t| {
+                let a = (t % 3) as i64;
+                let b = ((t + 1) % 3) as i64;
+                HistoryEntry { q: 0, t, val: Value::ints([a.min(b), a.max(b)]) }
+            })
+            .collect();
+        assert_eq!(check_anti_omega_k(&f, &history, 1, 10), None);
+    }
+
+    #[test]
+    fn perfect_check_rejects_premature_suspicion() {
+        let f = FailurePattern::with_crashes(2, &[(1, 100)]);
+        let history = vec![HistoryEntry { q: 0, t: 5, val: Value::ints([1]) }];
+        assert!(!check_perfect(&f, &history));
+    }
+}

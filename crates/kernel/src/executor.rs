@@ -1,0 +1,299 @@
+//! The run executor.
+//!
+//! A run of the paper's model is a tuple ⟨F, H, I, Sch, T⟩ (§2.1): a failure
+//! pattern, a failure-detector history, an initial state, a schedule and a
+//! time sequence. [`Executor`] holds the initial-state-plus-progress part
+//! (process automata and shared memory) and exposes a single primitive,
+//! [`Executor::step`], that performs the k-th step of a schedule: it runs one
+//! step of one process at the current logical time with a given
+//! failure-detector value. Schedules (`Sch`), failure patterns (`F`) and
+//! histories (`H`) are supplied by the layers above (schedulers in
+//! [`crate::sched`], failure detectors in `wfa-fd`, the EFD harness in
+//! `wfa-core`).
+//!
+//! The executor is `Clone`, and the complete run state is hashable via
+//! [`Executor::fingerprint`] — the two properties the bounded model checker
+//! needs to explore interleavings.
+
+use std::hash::{Hash, Hasher};
+
+use crate::memory::SharedMemory;
+use crate::process::{DynProcess, Status, StepCtx};
+use crate::trace::{Trace, TraceEvent};
+use crate::value::{Pid, Value};
+
+/// One registered process and its run-local bookkeeping.
+#[derive(Clone, Debug)]
+struct Slot {
+    proc: Box<dyn DynProcess>,
+    status: Status,
+    steps: u64,
+}
+
+/// Holds the evolving state of a run and performs schedule steps.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_kernel::executor::Executor;
+/// use wfa_kernel::process::{Process, Status, StepCtx};
+/// use wfa_kernel::memory::RegKey;
+/// use wfa_kernel::value::Value;
+///
+/// #[derive(Clone, Hash)]
+/// struct Echo(i64);
+/// impl Process for Echo {
+///     fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Status {
+///         Status::Decided(Value::Int(self.0))
+///     }
+/// }
+///
+/// let mut ex = Executor::new();
+/// let p = ex.add_process(Box::new(Echo(5)));
+/// ex.step(p, None);
+/// assert_eq!(ex.status(p).decision(), Some(&Value::Int(5)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    mem: SharedMemory,
+    slots: Vec<Slot>,
+    clock: u64,
+    trace: Option<Trace>,
+}
+
+impl Executor {
+    /// Creates an executor with empty memory and no processes.
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Registers a process; its [`Pid`] is its registration index.
+    pub fn add_process(&mut self, proc: Box<dyn DynProcess>) -> Pid {
+        self.slots.push(Slot { proc, status: Status::Running, steps: 0 });
+        Pid(self.slots.len() - 1)
+    }
+
+    /// Number of registered processes.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// All process ids, in registration order.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        (0..self.slots.len()).map(Pid)
+    }
+
+    /// The current logical time (number of schedule steps performed).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The shared memory (for verifiers; processes go through [`StepCtx`]).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// Current status of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by [`Executor::add_process`].
+    pub fn status(&self, pid: Pid) -> &Status {
+        &self.slots[pid.0].status
+    }
+
+    /// Number of effective steps `pid` has taken.
+    pub fn steps(&self, pid: Pid) -> u64 {
+        self.slots[pid.0].steps
+    }
+
+    /// `true` iff `pid` has taken at least one step (is *participating*).
+    pub fn participating(&self, pid: Pid) -> bool {
+        self.slots[pid.0].steps > 0
+    }
+
+    /// Label of the automaton behind `pid`.
+    pub fn label(&self, pid: Pid) -> String {
+        self.slots[pid.0].proc.label()
+    }
+
+    /// Performs one schedule step of `pid` with failure-detector value `fd`.
+    ///
+    /// A step of a decided or halted process is a *null step*: the logical
+    /// clock advances, but nothing else changes (§2.2). Returns the status
+    /// after the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unknown or the process performs more than one
+    /// memory operation.
+    pub fn step(&mut self, pid: Pid, fd: Option<&Value>) -> &Status {
+        let now = self.clock;
+        self.clock += 1;
+        let slot = &mut self.slots[pid.0];
+        if slot.status.is_running() {
+            slot.steps += 1;
+            let mut ctx = StepCtx::new(&mut self.mem, fd, now, pid, 1);
+            slot.status = slot.proc.step(&mut ctx);
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent {
+                    time: now,
+                    pid,
+                    op: ctx.last_op(),
+                    decided: matches!(slot.status, Status::Decided(_)),
+                });
+            }
+        }
+        &self.slots[pid.0].status
+    }
+
+    /// Enables event tracing, retaining the last `cap` effective steps.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::new(cap));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// `true` iff every process in `among` has decided.
+    pub fn all_decided<I: IntoIterator<Item = Pid>>(&self, among: I) -> bool {
+        among
+            .into_iter()
+            .all(|p| matches!(self.slots[p.0].status, Status::Decided(_)))
+    }
+
+    /// `true` iff no process in the run can still take effective steps.
+    pub fn quiescent(&self) -> bool {
+        self.slots.iter().all(|s| !s.status.is_running())
+    }
+
+    /// The output vector of the run: `O[i]` is `pid` i's decision, or `⊥`
+    /// while undecided (§2.2).
+    pub fn output_vector(&self) -> Vec<Value> {
+        self.slots
+            .iter()
+            .map(|s| s.status.decision().cloned().unwrap_or(Value::Unit))
+            .collect()
+    }
+
+    /// Hashes the complete run state (memory, process states, statuses).
+    ///
+    /// The clock and step counters are excluded: two runs that reach the same
+    /// configuration by different-length schedules are the same state for
+    /// exploration purposes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.mem.fingerprint(&mut h);
+        for slot in &self.slots {
+            slot.status.hash(&mut h);
+            slot.proc.fingerprint(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::RegKey;
+    use crate::process::Process;
+
+    #[derive(Clone, Hash)]
+    struct WriteThenDecide {
+        reg: u32,
+        val: i64,
+        wrote: bool,
+    }
+
+    impl Process for WriteThenDecide {
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+            if !self.wrote {
+                self.wrote = true;
+                ctx.write(RegKey::new(0).at(0, self.reg), Value::Int(self.val));
+                Status::Running
+            } else {
+                Status::Decided(Value::Int(self.val))
+            }
+        }
+    }
+
+    fn two_proc_exec() -> Executor {
+        let mut ex = Executor::new();
+        ex.add_process(Box::new(WriteThenDecide { reg: 0, val: 10, wrote: false }));
+        ex.add_process(Box::new(WriteThenDecide { reg: 1, val: 20, wrote: false }));
+        ex
+    }
+
+    #[test]
+    fn stepping_advances_clock_and_counts() {
+        let mut ex = two_proc_exec();
+        assert_eq!(ex.clock(), 0);
+        ex.step(Pid(0), None);
+        ex.step(Pid(1), None);
+        ex.step(Pid(0), None);
+        assert_eq!(ex.clock(), 3);
+        assert_eq!(ex.steps(Pid(0)), 2);
+        assert_eq!(ex.steps(Pid(1)), 1);
+        assert!(ex.participating(Pid(1)));
+    }
+
+    #[test]
+    fn decided_processes_take_null_steps() {
+        let mut ex = two_proc_exec();
+        ex.step(Pid(0), None);
+        ex.step(Pid(0), None);
+        assert_eq!(ex.status(Pid(0)).decision(), Some(&Value::Int(10)));
+        let steps = ex.steps(Pid(0));
+        let fp = ex.fingerprint();
+        ex.step(Pid(0), None); // null step
+        assert_eq!(ex.steps(Pid(0)), steps);
+        assert_eq!(ex.fingerprint(), fp);
+        assert_eq!(ex.clock(), 3); // clock still advances
+    }
+
+    #[test]
+    fn output_vector_tracks_decisions() {
+        let mut ex = two_proc_exec();
+        assert_eq!(ex.output_vector(), vec![Value::Unit, Value::Unit]);
+        ex.step(Pid(0), None);
+        ex.step(Pid(0), None);
+        assert_eq!(ex.output_vector(), vec![Value::Int(10), Value::Unit]);
+        assert!(!ex.all_decided([Pid(0), Pid(1)]));
+        assert!(ex.all_decided([Pid(0)]));
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut ex = two_proc_exec();
+        for _ in 0..2 {
+            ex.step(Pid(0), None);
+            ex.step(Pid(1), None);
+        }
+        assert!(ex.quiescent());
+    }
+
+    #[test]
+    fn clone_forks_the_run() {
+        let mut ex = two_proc_exec();
+        ex.step(Pid(0), None);
+        let mut fork = ex.clone();
+        fork.step(Pid(1), None);
+        assert_ne!(ex.fingerprint(), fork.fingerprint());
+        ex.step(Pid(1), None);
+        assert_eq!(ex.fingerprint(), fork.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_schedule_length() {
+        let mut a = two_proc_exec();
+        let mut b = two_proc_exec();
+        a.step(Pid(0), None);
+        b.step(Pid(0), None);
+        b.step(Pid(0), None); // extra step changes state (decides)
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        a.step(Pid(0), None);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

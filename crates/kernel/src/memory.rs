@@ -1,0 +1,226 @@
+//! Atomic read/write shared memory.
+//!
+//! The paper's model is a read/write shared-memory system: in one step a
+//! process reads or writes a single atomic register (§2.1). [`SharedMemory`]
+//! is an *addressed* register file: registers are named by structured
+//! [`RegKey`]s rather than allocated, so unboundedly many logical registers
+//! (e.g. one consensus instance per simulated step in Figure 2) exist without
+//! any allocation coordination between processes. Reading a never-written
+//! register returns `⊥` ([`Value::Unit`]), exactly as an initialized-to-`⊥`
+//! register would.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// Address of a shared register.
+///
+/// A key is a namespace plus four index coordinates. Namespaces keep the
+/// register spaces of independent protocol layers disjoint; the coordinates
+/// typically encode (instance, process, round, field).
+///
+/// # Examples
+///
+/// ```
+/// use wfa_kernel::memory::RegKey;
+/// const NS_INPUT: u16 = 7;
+/// let r = RegKey::new(NS_INPUT).at(0, 3);
+/// assert_eq!(r.ns, NS_INPUT);
+/// assert_eq!(r.ix, [3, 0, 0, 0]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegKey {
+    /// Namespace discriminator (one per protocol layer).
+    pub ns: u16,
+    /// Index coordinates, e.g. (instance, process, round, field).
+    pub ix: [u32; 4],
+}
+
+impl RegKey {
+    /// A key in namespace `ns` with all coordinates zero.
+    pub const fn new(ns: u16) -> RegKey {
+        RegKey { ns, ix: [0; 4] }
+    }
+
+    /// Returns a copy of the key with coordinate `pos` set to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 4`.
+    pub const fn at(mut self, pos: usize, v: u32) -> RegKey {
+        self.ix[pos] = v;
+        self
+    }
+
+    /// Shorthand for a fully indexed key.
+    pub const fn idx(ns: u16, a: u32, b: u32, c: u32, d: u32) -> RegKey {
+        RegKey { ns, ix: [a, b, c, d] }
+    }
+}
+
+/// The shared register file of a run.
+///
+/// All operations are sequentially consistent by construction: the executor
+/// interleaves process steps one at a time, and each step performs at most
+/// one memory operation, so every run of the simulator is a legal
+/// interleaving of atomic register operations — the exact object the paper
+/// quantifies over.
+#[derive(Clone, Debug, Default)]
+pub struct SharedMemory {
+    cells: BTreeMap<RegKey, Value>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SharedMemory {
+    /// Creates an empty memory (every register holds `⊥`).
+    pub fn new() -> SharedMemory {
+        SharedMemory::default()
+    }
+
+    /// Atomically reads register `key`.
+    ///
+    /// Never-written registers read as [`Value::Unit`].
+    pub fn read(&mut self, key: RegKey) -> Value {
+        self.reads += 1;
+        self.cells.get(&key).cloned().unwrap_or(Value::Unit)
+    }
+
+    /// Reads without bumping the operation counter (for verifiers/harnesses,
+    /// not for process steps).
+    pub fn peek(&self, key: RegKey) -> Value {
+        self.cells.get(&key).cloned().unwrap_or(Value::Unit)
+    }
+
+    /// Atomically writes `val` into register `key`.
+    ///
+    /// Writing `⊥` restores the register to its initial state (the cell is
+    /// dropped, keeping fingerprints canonical).
+    pub fn write(&mut self, key: RegKey, val: Value) {
+        self.writes += 1;
+        if val.is_unit() {
+            self.cells.remove(&key);
+        } else {
+            self.cells.insert(key, val);
+        }
+    }
+
+    /// Number of registers currently holding a non-`⊥` value.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff no register holds a non-`⊥` value.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total reads performed so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Iterates over the non-`⊥` registers in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RegKey, &Value)> {
+        self.cells.iter()
+    }
+
+    /// Hashes the memory contents (not the op counters) into `h`.
+    ///
+    /// Two memories with the same fingerprint input are observationally
+    /// identical to every process.
+    pub fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.cells.len().hash(h);
+        for (k, v) in &self.cells {
+            k.hash(h);
+            v.hash(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn fp(m: &SharedMemory) -> u64 {
+        let mut h = DefaultHasher::new();
+        m.fingerprint(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn fresh_register_reads_bottom() {
+        let mut m = SharedMemory::new();
+        assert_eq!(m.read(RegKey::new(1)), Value::Unit);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = SharedMemory::new();
+        let k = RegKey::idx(2, 1, 0, 0, 0);
+        m.write(k, Value::Int(42));
+        assert_eq!(m.read(k), Value::Int(42));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_registers() {
+        let mut m = SharedMemory::new();
+        m.write(RegKey::idx(1, 0, 0, 0, 0), Value::Int(1));
+        m.write(RegKey::idx(1, 1, 0, 0, 0), Value::Int(2));
+        m.write(RegKey::idx(2, 0, 0, 0, 0), Value::Int(3));
+        assert_eq!(m.read(RegKey::idx(1, 0, 0, 0, 0)), Value::Int(1));
+        assert_eq!(m.read(RegKey::idx(1, 1, 0, 0, 0)), Value::Int(2));
+        assert_eq!(m.read(RegKey::idx(2, 0, 0, 0, 0)), Value::Int(3));
+    }
+
+    #[test]
+    fn writing_bottom_erases() {
+        let mut m = SharedMemory::new();
+        let k = RegKey::new(3);
+        let empty = fp(&m);
+        m.write(k, Value::Int(5));
+        assert_ne!(fp(&m), empty);
+        m.write(k, Value::Unit);
+        assert_eq!(fp(&m), empty);
+        assert_eq!(m.read(k), Value::Unit);
+    }
+
+    #[test]
+    fn op_counters() {
+        let mut m = SharedMemory::new();
+        let k = RegKey::new(0);
+        m.write(k, Value::Int(1));
+        m.read(k);
+        m.read(k);
+        m.peek(k);
+        assert_eq!(m.write_count(), 1);
+        assert_eq!(m.read_count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let mut a = SharedMemory::new();
+        let mut b = SharedMemory::new();
+        a.write(RegKey::new(1), Value::Int(1));
+        a.write(RegKey::new(2), Value::Int(2));
+        b.write(RegKey::new(2), Value::Int(2));
+        b.write(RegKey::new(1), Value::Int(1));
+        b.read(RegKey::new(1)); // counters must not affect the fingerprint
+        assert_eq!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn regkey_builders() {
+        let k = RegKey::new(9).at(0, 1).at(3, 7);
+        assert_eq!(k, RegKey::idx(9, 1, 0, 0, 7));
+    }
+}

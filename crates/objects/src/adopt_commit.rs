@@ -1,0 +1,282 @@
+//! Adopt-commit from registers [Gafni 1998].
+//!
+//! An adopt-commit object is the safety half of round-based consensus: every
+//! party proposes a value and gets back `(Commit, v)` or `(Adopt, v)` such
+//! that
+//!
+//! 1. **Agreement-on-commit** — if anyone gets `(Commit, v)`, everyone gets
+//!    an outcome with value `v`;
+//! 2. **Convergence** — if all proposals equal `v`, everyone gets
+//!    `(Commit, v)`;
+//! 3. **Validity** — outcome values are proposals.
+//!
+//! The round-based leader consensus in `wfa-algorithms` uses one instance per
+//! round; it is also exhaustively model-checked for 2–3 parties in
+//! `wfa-modelcheck`'s tests.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+
+use crate::driver::{Collect, Driver, Step};
+
+/// Outcome of an adopt-commit proposal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AcOutcome {
+    /// Safe to decide `v`: every party's outcome carries `v`.
+    Commit(Value),
+    /// Must carry `v` into the next round.
+    Adopt(Value),
+}
+
+impl AcOutcome {
+    /// The carried value.
+    pub fn value(&self) -> &Value {
+        match self {
+            AcOutcome::Commit(v) | AcOutcome::Adopt(v) => v,
+        }
+    }
+
+    /// `true` iff this is a commit.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, AcOutcome::Commit(_))
+    }
+}
+
+#[derive(Clone, Hash, Debug)]
+enum Pc {
+    WriteA,
+    CollectA(Collect),
+    WriteB { flag: bool, val: Value },
+    CollectB(Collect),
+    Done,
+}
+
+/// One party's proposal to one adopt-commit instance.
+///
+/// Register layout (namespace `ns`, instance `inst`): `A[p]` at
+/// `(inst, p, 0)` holds party `p`'s proposal; `B[p]` at `(inst, p, 1)` holds
+/// `(flag, value)`.
+#[derive(Clone, Hash, Debug)]
+pub struct AdoptCommit {
+    ns: u16,
+    inst: u32,
+    parties: u32,
+    me: u32,
+    input: Value,
+    pc: Pc,
+}
+
+impl AdoptCommit {
+    /// Party `me` (of `parties`) proposes `input` to instance `(ns, inst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= parties` or `input` is `⊥`.
+    pub fn new(ns: u16, inst: u32, parties: u32, me: u32, input: Value) -> AdoptCommit {
+        assert!(me < parties, "party index out of range");
+        assert!(!input.is_unit(), "⊥ cannot be proposed");
+        AdoptCommit { ns, inst, parties, me, input, pc: Pc::WriteA }
+    }
+
+    fn a_key(&self, p: u32) -> RegKey {
+        RegKey::idx(self.ns, self.inst, p, 0, 0)
+    }
+
+    fn b_key(&self, p: u32) -> RegKey {
+        RegKey::idx(self.ns, self.inst, p, 1, 0)
+    }
+
+    fn a_keys(&self) -> Vec<RegKey> {
+        (0..self.parties).map(|p| self.a_key(p)).collect()
+    }
+
+    fn b_keys(&self) -> Vec<RegKey> {
+        (0..self.parties).map(|p| self.b_key(p)).collect()
+    }
+}
+
+impl Driver for AdoptCommit {
+    type Output = AcOutcome;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<AcOutcome> {
+        loop {
+            match &mut self.pc {
+                Pc::WriteA => {
+                    ctx.write(self.a_key(self.me), self.input.clone());
+                    self.pc = Pc::CollectA(Collect::new(self.a_keys()));
+                    return Step::Pending;
+                }
+                Pc::CollectA(c) => {
+                    let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
+                    let non_bot: Vec<&Value> = seen.iter().filter(|v| !v.is_unit()).collect();
+                    // The phase-1 check: did we see only our own proposal value?
+                    let all_mine = non_bot.iter().all(|v| **v == self.input);
+                    let (flag, val) = if all_mine {
+                        (true, self.input.clone())
+                    } else {
+                        // Deterministic adopt choice: the minimum seen value.
+                        (false, (*non_bot.iter().min().expect("own value present")).clone())
+                    };
+                    self.pc = Pc::WriteB { flag, val };
+                    // fall through: the collect's last poll used this step's op
+                    return Step::Pending;
+                }
+                Pc::WriteB { flag, val } => {
+                    let rec = Value::tuple([Value::Bool(*flag), val.clone()]);
+                    ctx.write(self.b_key(self.me), rec);
+                    self.pc = Pc::CollectB(Collect::new(self.b_keys()));
+                    return Step::Pending;
+                }
+                Pc::CollectB(c) => {
+                    let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
+                    let recs: Vec<(bool, Value)> = seen
+                        .iter()
+                        .filter(|v| !v.is_unit())
+                        .map(|v| {
+                            (
+                                v.get(0).and_then(Value::as_bool).expect("B record flag"),
+                                v.get(1).expect("B record value").clone(),
+                            )
+                        })
+                        .collect();
+                    debug_assert!(!recs.is_empty(), "own B record must be visible");
+                    let committed: Vec<&Value> =
+                        recs.iter().filter(|(f, _)| *f).map(|(_, v)| v).collect();
+                    let outcome = if committed.len() == recs.len() {
+                        AcOutcome::Commit(committed[0].clone())
+                    } else if let Some(v) = committed.first() {
+                        AcOutcome::Adopt((*v).clone())
+                    } else {
+                        AcOutcome::Adopt(recs[0].1.clone())
+                    };
+                    self.pc = Pc::Done;
+                    return Step::Done(outcome);
+                }
+                Pc::Done => panic!("adopt-commit polled after completion"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Runs `drivers` to completion under a seeded random interleaving.
+    fn run_interleaved(mut drivers: Vec<AdoptCommit>, seed: u64) -> Vec<AcOutcome> {
+        let mut mem = SharedMemory::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out: Vec<Option<AcOutcome>> = vec![None; drivers.len()];
+        let mut clock = 0;
+        while out.iter().any(Option::is_none) {
+            let i = rng.gen_range(0..drivers.len());
+            if out[i].is_some() {
+                continue;
+            }
+            let mut ctx = StepCtx::new(&mut mem, None, clock, Pid(i), 1);
+            clock += 1;
+            if let Step::Done(o) = drivers[i].poll(&mut ctx) {
+                out[i] = Some(o);
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    fn check_spec(inputs: &[i64], outcomes: &[AcOutcome]) {
+        let proposals: Vec<Value> = inputs.iter().map(|v| Value::Int(*v)).collect();
+        // validity
+        for o in outcomes {
+            assert!(proposals.contains(o.value()), "outcome {o:?} not proposed");
+        }
+        // agreement on commit
+        if let Some(c) = outcomes.iter().find(|o| o.is_commit()) {
+            for o in outcomes {
+                assert_eq!(o.value(), c.value(), "commit {c:?} vs {o:?}");
+            }
+        }
+        // convergence
+        if proposals.iter().all(|v| *v == proposals[0]) {
+            for o in outcomes {
+                assert!(o.is_commit(), "identical proposals must commit: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn solo_proposal_commits() {
+        let d = AdoptCommit::new(1, 0, 1, 0, Value::Int(5));
+        let outs = run_interleaved(vec![d], 1);
+        assert_eq!(outs[0], AcOutcome::Commit(Value::Int(5)));
+    }
+
+    #[test]
+    fn identical_proposals_commit() {
+        for seed in 0..50 {
+            let drivers: Vec<AdoptCommit> =
+                (0..3).map(|p| AdoptCommit::new(1, 0, 3, p, Value::Int(7))).collect();
+            let outs = run_interleaved(drivers, seed);
+            check_spec(&[7, 7, 7], &outs);
+        }
+    }
+
+    #[test]
+    fn mixed_proposals_satisfy_spec_randomized() {
+        for seed in 0..300 {
+            let inputs = [seed as i64 % 2, (seed as i64 / 2) % 2, 1];
+            let drivers: Vec<AdoptCommit> = (0..3)
+                .map(|p| AdoptCommit::new(1, 0, 3, p as u32, Value::Int(inputs[p])))
+                .collect();
+            let outs = run_interleaved(drivers, seed * 31 + 7);
+            check_spec(&inputs, &outs);
+        }
+    }
+
+    #[test]
+    fn sequential_parties_converge_to_first() {
+        // p0 completes alone and commits; p1 then must adopt/commit p0's value.
+        let mut mem = SharedMemory::new();
+        let mut clock = 0;
+        let mut drive = |d: &mut AdoptCommit| loop {
+            let mut ctx = StepCtx::new(&mut mem, None, clock, Pid(0), 1);
+            clock += 1;
+            if let Step::Done(o) = d.poll(&mut ctx) {
+                return o;
+            }
+        };
+        let mut p0 = AdoptCommit::new(1, 0, 2, 0, Value::Int(1));
+        let mut p1 = AdoptCommit::new(1, 0, 2, 1, Value::Int(2));
+        let o0 = drive(&mut p0);
+        let o1 = drive(&mut p1);
+        assert_eq!(o0, AcOutcome::Commit(Value::Int(1)));
+        assert_eq!(o1.value(), &Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥ cannot be proposed")]
+    fn bot_proposal_rejected() {
+        AdoptCommit::new(1, 0, 2, 0, Value::Unit);
+    }
+
+    #[test]
+    fn distinct_instances_do_not_interfere() {
+        let mut mem = SharedMemory::new();
+        let mut clock = 0;
+        let mut drive = |d: &mut AdoptCommit, mem: &mut SharedMemory| loop {
+            let mut ctx = StepCtx::new(mem, None, clock, Pid(0), 1);
+            clock += 1;
+            if let Step::Done(o) = d.poll(&mut ctx) {
+                return o;
+            }
+        };
+        let o1 = drive(&mut AdoptCommit::new(1, 0, 2, 0, Value::Int(1)), &mut mem);
+        let o2 = drive(&mut AdoptCommit::new(1, 1, 2, 1, Value::Int(9)), &mut mem);
+        assert_eq!(o1, AcOutcome::Commit(Value::Int(1)));
+        assert_eq!(o2, AcOutcome::Commit(Value::Int(9)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Stepwise sub-protocol drivers.
+//!
+//! The paper's automata perform one shared-memory operation per step, so a
+//! multi-operation object call (a collect, an adopt-commit, a safe-agreement
+//! proposal) must be spread across steps. A [`Driver`] is a resumable
+//! sub-automaton: the parent process calls [`Driver::poll`] once per step;
+//! the driver performs **at most one** memory operation and either finishes
+//! with a result or stays [`Step::Pending`].
+//!
+//! Drivers are plain state machines deriving `Clone + Hash`, so parents stay
+//! fingerprintable for the model checker.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+
+/// Result of polling a driver.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Step<T> {
+    /// The sub-protocol needs more steps.
+    Pending,
+    /// The sub-protocol finished with this result.
+    Done(T),
+}
+
+impl<T> Step<T> {
+    /// Maps the payload of `Done`.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Step<U> {
+        match self {
+            Step::Pending => Step::Pending,
+            Step::Done(t) => Step::Done(f(t)),
+        }
+    }
+
+    /// Extracts the payload, if finished.
+    pub fn done(self) -> Option<T> {
+        match self {
+            Step::Pending => None,
+            Step::Done(t) => Some(t),
+        }
+    }
+}
+
+/// A resumable sub-protocol performing one memory operation per poll.
+pub trait Driver {
+    /// Result type of the sub-protocol.
+    type Output;
+
+    /// Advances by at most one memory operation.
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Self::Output>;
+}
+
+/// Reads a fixed list of registers, one per step, returning all values.
+///
+/// This is the *collect* of the paper's pseudocode (`read the other inputs
+/// already written`, Appendix A; `collect A`, adopt-commit; ...). A collect
+/// is not an atomic snapshot: the values are read at different times.
+#[derive(Clone, Hash, Debug)]
+pub struct Collect {
+    keys: Vec<RegKey>,
+    got: Vec<Value>,
+}
+
+impl Collect {
+    /// Collects `keys`, in order.
+    pub fn new(keys: Vec<RegKey>) -> Collect {
+        let cap = keys.len();
+        Collect { keys, got: Vec::with_capacity(cap) }
+    }
+
+    /// Restarts the collect from the beginning (for retry loops).
+    pub fn reset(&mut self) {
+        self.got.clear();
+    }
+}
+
+impl Driver for Collect {
+    type Output = Vec<Value>;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Vec<Value>> {
+        if self.got.len() < self.keys.len() {
+            let v = ctx.read(self.keys[self.got.len()]);
+            self.got.push(v);
+        }
+        if self.got.len() == self.keys.len() {
+            Step::Done(self.got.clone())
+        } else {
+            Step::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    fn poll_once<D: Driver>(d: &mut D, mem: &mut SharedMemory) -> Step<D::Output> {
+        let mut ctx = StepCtx::new(mem, None, 0, Pid(0), 1);
+        d.poll(&mut ctx)
+    }
+
+    #[test]
+    fn collect_reads_one_per_step() {
+        let mut mem = SharedMemory::new();
+        let keys: Vec<RegKey> = (0..3).map(|i| RegKey::new(1).at(0, i)).collect();
+        mem.write(keys[1], Value::Int(7));
+        let mut c = Collect::new(keys);
+        assert_eq!(poll_once(&mut c, &mut mem), Step::Pending);
+        assert_eq!(poll_once(&mut c, &mut mem), Step::Pending);
+        let got = poll_once(&mut c, &mut mem).done().unwrap();
+        assert_eq!(got, vec![Value::Unit, Value::Int(7), Value::Unit]);
+    }
+
+    #[test]
+    fn collect_sees_interleaved_writes_in_later_slots() {
+        let mut mem = SharedMemory::new();
+        let keys: Vec<RegKey> = (0..2).map(|i| RegKey::new(1).at(0, i)).collect();
+        let mut c = Collect::new(keys.clone());
+        poll_once(&mut c, &mut mem); // reads slot 0 = ⊥
+        mem.write(keys[0], Value::Int(1)); // too late for slot 0
+        mem.write(keys[1], Value::Int(2)); // in time for slot 1
+        let got = poll_once(&mut c, &mut mem).done().unwrap();
+        assert_eq!(got, vec![Value::Unit, Value::Int(2)]);
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut mem = SharedMemory::new();
+        let keys = vec![RegKey::new(1)];
+        let mut c = Collect::new(keys.clone());
+        poll_once(&mut c, &mut mem);
+        mem.write(keys[0], Value::Int(9));
+        c.reset();
+        let got = poll_once(&mut c, &mut mem).done().unwrap();
+        assert_eq!(got, vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn empty_collect_finishes_immediately() {
+        let mut mem = SharedMemory::new();
+        let mut c = Collect::new(vec![]);
+        assert_eq!(poll_once(&mut c, &mut mem), Step::Done(vec![]));
+    }
+
+    #[test]
+    fn step_map_and_done() {
+        assert_eq!(Step::Done(2).map(|x| x * 2), Step::Done(4));
+        assert_eq!(Step::<i32>::Pending.map(|x| x * 2), Step::Pending);
+        assert_eq!(Step::Done(1).done(), Some(1));
+        assert_eq!(Step::<i32>::Pending.done(), None);
+    }
+}

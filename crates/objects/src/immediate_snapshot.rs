@@ -1,0 +1,189 @@
+//! One-shot immediate snapshot [Borowsky-Gafni 93].
+//!
+//! The object underlying the topological view of wait-free computation
+//! (and of the BG literature's full-information protocols): each process
+//! writes a value once and obtains a *view* — a set of (process, value)
+//! pairs — such that
+//!
+//! * **self-inclusion** — a process's view contains its own value;
+//! * **containment** — any two views are ⊆-comparable;
+//! * **immediacy** — if `j`'s pair is in `i`'s view, then `j`'s own view is
+//!   a subset of `i`'s.
+//!
+//! Implementation: the classic recursive level algorithm. A process starts
+//! at level `n` and descends: at level `L` it writes `(value, L)`,
+//! snapshots the board, and returns the set of processes at levels `≤ L`
+//! if there are exactly `L` of them; otherwise it descends to `L−1`.
+//! Levels use the kernel's atomic-snapshot primitive, consistent with the
+//! snapshot-model substitution recorded in `DESIGN.md`.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+
+use crate::driver::{Driver, Step};
+
+fn slot_key(ns: u16, inst: u32, p: u32) -> RegKey {
+    RegKey::idx(ns, inst, p, 0, 0)
+}
+
+/// One process's participation in a one-shot immediate snapshot.
+#[derive(Clone, Hash, Debug)]
+pub struct ImmediateSnapshot {
+    ns: u16,
+    inst: u32,
+    parties: u32,
+    me: u32,
+    value: Value,
+    level: u32,
+    wrote: bool,
+}
+
+impl ImmediateSnapshot {
+    /// Party `me` (of `parties`) contributes `value` to instance
+    /// `(ns, inst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= parties` or `value` is `⊥`.
+    pub fn new(ns: u16, inst: u32, parties: u32, me: u32, value: Value) -> ImmediateSnapshot {
+        assert!(me < parties, "party index out of range");
+        assert!(!value.is_unit(), "⊥ cannot be contributed");
+        ImmediateSnapshot { ns, inst, parties, me, value, level: parties, wrote: false }
+    }
+
+    fn keys(&self) -> Vec<RegKey> {
+        (0..self.parties).map(|p| slot_key(self.ns, self.inst, p)).collect()
+    }
+}
+
+impl Driver for ImmediateSnapshot {
+    /// The view: pairs `(party, value)` sorted by party index.
+    type Output = Vec<(u32, Value)>;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Vec<(u32, Value)>> {
+        if !self.wrote {
+            ctx.write(
+                slot_key(self.ns, self.inst, self.me),
+                Value::tuple([Value::Int(self.level as i64), self.value.clone()]),
+            );
+            self.wrote = true;
+            return Step::Pending;
+        }
+        let snap = ctx.snapshot(&self.keys());
+        let at_or_below: Vec<(u32, Value)> = snap
+            .iter()
+            .enumerate()
+            .filter_map(|(p, v)| {
+                let lvl = v.get(0)?.as_int()? as u32;
+                (lvl <= self.level).then(|| (p as u32, v.get(1).cloned().unwrap_or(Value::Unit)))
+            })
+            .collect();
+        if at_or_below.len() as u32 == self.level {
+            return Step::Done(at_or_below);
+        }
+        self.level -= 1;
+        debug_assert!(self.level >= 1, "level underflow — more parties than declared?");
+        self.wrote = false;
+        Step::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    fn run(n: usize, seed: u64) -> Vec<Vec<(u32, Value)>> {
+        let mut mem = SharedMemory::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut drivers: Vec<ImmediateSnapshot> = (0..n)
+            .map(|p| ImmediateSnapshot::new(40, 0, n as u32, p as u32, Value::Int(100 + p as i64)))
+            .collect();
+        let mut out: Vec<Option<Vec<(u32, Value)>>> = vec![None; n];
+        let mut clock = 0;
+        while out.iter().any(Option::is_none) {
+            let i = rng.gen_range(0..n);
+            if out[i].is_some() {
+                continue;
+            }
+            let mut ctx = StepCtx::new(&mut mem, None, clock, Pid(i), 1);
+            clock += 1;
+            if let Step::Done(v) = drivers[i].poll(&mut ctx) {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    fn members(view: &[(u32, Value)]) -> Vec<u32> {
+        view.iter().map(|(p, _)| *p).collect()
+    }
+
+    #[test]
+    fn self_inclusion() {
+        for n in 1..=5usize {
+            for seed in 0..100 {
+                let views = run(n, seed);
+                for (i, view) in views.iter().enumerate() {
+                    assert!(
+                        members(view).contains(&(i as u32)),
+                        "n={n} seed={seed}: view of {i} misses itself"
+                    );
+                    // values are the contributors' values
+                    for (p, v) in view {
+                        assert_eq!(*v, Value::Int(100 + *p as i64));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment() {
+        for n in 2..=5usize {
+            for seed in 0..150 {
+                let views = run(n, seed);
+                for a in &views {
+                    for b in &views {
+                        let (ma, mb) = (members(a), members(b));
+                        let a_in_b = ma.iter().all(|p| mb.contains(p));
+                        let b_in_a = mb.iter().all(|p| ma.contains(p));
+                        assert!(
+                            a_in_b || b_in_a,
+                            "n={n} seed={seed}: incomparable views {ma:?} vs {mb:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn immediacy() {
+        for n in 2..=5usize {
+            for seed in 0..150 {
+                let views = run(n, seed);
+                for (i, view) in views.iter().enumerate() {
+                    for (j, _) in view {
+                        let vj = members(&views[*j as usize]);
+                        let vi = members(view);
+                        assert!(
+                            vj.iter().all(|p| vi.contains(p)),
+                            "n={n} seed={seed}: {j} ∈ view({i}) but view({j}) ⊄ view({i})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_view_is_singleton() {
+        let views = run(1, 0);
+        assert_eq!(views[0], vec![(0, Value::Int(100))]);
+    }
+}

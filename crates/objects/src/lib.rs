@@ -1,0 +1,37 @@
+//! # wfa-objects — wait-free objects from atomic registers
+//!
+//! Register-based building blocks for the *Wait-Freedom with Advice*
+//! algorithms, implemented as resumable one-operation-per-step
+//! [`driver::Driver`]s so they compose with the paper's step discipline:
+//!
+//! * [`driver::Collect`] — read a register set, one register per step;
+//! * [`snapshot::DoubleCollect`] — linearizable scan via repeated collects;
+//! * [`adopt_commit::AdoptCommit`] — the safety core of round-based
+//!   consensus [Gafni 98];
+//! * [`safe_agreement`] — the BG-simulation agreement object, with its
+//!   deliberate blocking window [Borowsky-Gafni 93];
+//! * [`splitter::Splitter`] — the Moir-Anderson renaming building block;
+//! * [`immediate_snapshot::ImmediateSnapshot`] — the one-shot immediate
+//!   snapshot (self-inclusion / containment / immediacy).
+//!
+//! All drivers derive `Clone + Hash`, so automata embedding them remain
+//! fingerprintable by the model checker (which exhaustively verifies
+//! adopt-commit and safe agreement on small instances — see
+//! `wfa-modelcheck`).
+
+pub mod adopt_commit;
+pub mod driver;
+pub mod immediate_snapshot;
+pub mod safe_agreement;
+pub mod snapshot;
+pub mod splitter;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::adopt_commit::{AcOutcome, AdoptCommit};
+    pub use crate::immediate_snapshot::ImmediateSnapshot;
+    pub use crate::splitter::{Splitter, SplitterOutcome};
+    pub use crate::driver::{Collect, Driver, Step};
+    pub use crate::safe_agreement::{SaPropose, SaResolve};
+    pub use crate::snapshot::DoubleCollect;
+}

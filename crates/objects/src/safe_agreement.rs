@@ -1,0 +1,295 @@
+//! Safe agreement — the BG-simulation agreement object [Borowsky-Gafni 93,
+//! BGLR 01].
+//!
+//! Safe agreement is consensus whose termination may block if a party stops
+//! inside its (bounded) *unsafe window*:
+//!
+//! * **Validity** — the decided value is some party's proposal.
+//! * **Agreement** — all resolutions return the same value.
+//! * **Safe termination** — [`SaPropose`] is wait-free; [`SaResolve`]
+//!   completes once no party is parked at level 1 (inside the window).
+//!
+//! The blocking behaviour is not a defect: it is precisely the mechanism that
+//! makes BG-simulation (and the Figure-1 extraction of `¬Ωk`, §4.1) work — a
+//! crashed simulator blocks at most one simulated code.
+//!
+//! Protocol: party `i` writes `X[i] = v`, raises `L[i] = 1`, snapshots the
+//! levels, then sets `L[i] = 2` if it saw no 2 and `L[i] = 0` otherwise.
+//! Resolution snapshots the levels; if no level is 1, the value of the
+//! smallest-index party at level 2 is the decision. Level snapshots use
+//! [`DoubleCollect`] (each level register changes at most twice, so scans
+//! terminate); plain collects are *not* sufficient for agreement — a party
+//! can slip to level 2 with a smaller index behind a racing single collect.
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+
+use crate::driver::{Driver, Step};
+use crate::snapshot::DoubleCollect;
+
+fn x_key(ns: u16, inst: u32, p: u32) -> RegKey {
+    RegKey::idx(ns, inst, p, 0, 0)
+}
+
+fn l_key(ns: u16, inst: u32, p: u32) -> RegKey {
+    RegKey::idx(ns, inst, p, 1, 0)
+}
+
+fn l_keys(ns: u16, inst: u32, parties: u32) -> Vec<RegKey> {
+    (0..parties).map(|p| l_key(ns, inst, p)).collect()
+}
+
+fn level_of(v: &Value) -> i64 {
+    v.as_int().unwrap_or(0) // ⊥ counts as level 0 (never proposed)
+}
+
+#[derive(Clone, Hash, Debug)]
+enum ProposePc {
+    WriteX,
+    WriteL1,
+    Scan(DoubleCollect),
+    WriteL2 { level: i64 },
+    Done,
+}
+
+/// One party's proposal to a safe-agreement instance.
+#[derive(Clone, Hash, Debug)]
+pub struct SaPropose {
+    ns: u16,
+    inst: u32,
+    parties: u32,
+    me: u32,
+    input: Value,
+    pc: ProposePc,
+}
+
+impl SaPropose {
+    /// Party `me` (of `parties`) proposes `input` to instance `(ns, inst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= parties` or `input` is `⊥`.
+    pub fn new(ns: u16, inst: u32, parties: u32, me: u32, input: Value) -> SaPropose {
+        assert!(me < parties, "party index out of range");
+        assert!(!input.is_unit(), "⊥ cannot be proposed");
+        SaPropose { ns, inst, parties, me, input, pc: ProposePc::WriteX }
+    }
+
+    /// `true` while this party is inside its unsafe window (level raised to 1
+    /// and not yet lowered/raised): stopping here blocks resolution.
+    pub fn in_unsafe_window(&self) -> bool {
+        matches!(self.pc, ProposePc::Scan(_) | ProposePc::WriteL2 { .. })
+    }
+}
+
+impl Driver for SaPropose {
+    type Output = ();
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<()> {
+        match &mut self.pc {
+            ProposePc::WriteX => {
+                ctx.write(x_key(self.ns, self.inst, self.me), self.input.clone());
+                self.pc = ProposePc::WriteL1;
+                Step::Pending
+            }
+            ProposePc::WriteL1 => {
+                ctx.write(l_key(self.ns, self.inst, self.me), Value::Int(1));
+                self.pc = ProposePc::Scan(DoubleCollect::new(l_keys(self.ns, self.inst, self.parties)));
+                Step::Pending
+            }
+            ProposePc::Scan(scan) => {
+                let Step::Done(levels) = scan.poll(ctx) else { return Step::Pending };
+                let saw_two = levels.iter().any(|l| level_of(l) == 2);
+                self.pc = ProposePc::WriteL2 { level: if saw_two { 0 } else { 2 } };
+                Step::Pending
+            }
+            ProposePc::WriteL2 { level } => {
+                ctx.write(l_key(self.ns, self.inst, self.me), Value::Int(*level));
+                self.pc = ProposePc::Done;
+                Step::Done(())
+            }
+            ProposePc::Done => panic!("safe-agreement proposal polled after completion"),
+        }
+    }
+}
+
+#[derive(Clone, Hash, Debug)]
+enum ResolvePc {
+    Scan(DoubleCollect),
+    ReadX { winner: u32 },
+}
+
+/// Resolution of a safe-agreement instance (may be polled by any process,
+/// including non-proposers).
+#[derive(Clone, Hash, Debug)]
+pub struct SaResolve {
+    ns: u16,
+    inst: u32,
+    parties: u32,
+    pc: ResolvePc,
+    saw_window: bool,
+}
+
+impl SaResolve {
+    /// Resolves instance `(ns, inst)` with `parties` potential proposers.
+    pub fn new(ns: u16, inst: u32, parties: u32) -> SaResolve {
+        SaResolve {
+            ns,
+            inst,
+            parties,
+            pc: ResolvePc::Scan(DoubleCollect::new(l_keys(ns, inst, parties))),
+            saw_window: false,
+        }
+    }
+
+    /// `true` iff the most recent completed level scan found a proposer
+    /// parked inside its unsafe window — the BG "blocked code" signal: the
+    /// caller should go simulate another code and retry later.
+    pub fn saw_blocked(&self) -> bool {
+        self.saw_window
+    }
+}
+
+impl Driver for SaResolve {
+    type Output = Value;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Value> {
+        match &mut self.pc {
+            ResolvePc::Scan(scan) => {
+                let Step::Done(levels) = scan.poll(ctx) else { return Step::Pending };
+                let blocked = levels.iter().any(|l| level_of(l) == 1);
+                self.saw_window = blocked;
+                let winner = levels.iter().enumerate().find(|(_, l)| level_of(l) == 2);
+                match (blocked, winner) {
+                    (false, Some((w, _))) => {
+                        self.pc = ResolvePc::ReadX { winner: w as u32 };
+                    }
+                    // Someone is in the window, or nobody committed yet:
+                    // start over (resolution is a retry loop).
+                    _ => {
+                        self.pc =
+                            ResolvePc::Scan(DoubleCollect::new(l_keys(self.ns, self.inst, self.parties)));
+                    }
+                }
+                Step::Pending
+            }
+            ResolvePc::ReadX { winner } => {
+                let v = ctx.read(x_key(self.ns, self.inst, *winner));
+                debug_assert!(!v.is_unit(), "level-2 party must have published its value");
+                Step::Done(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    struct Harness {
+        mem: SharedMemory,
+        clock: u64,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            Harness { mem: SharedMemory::new(), clock: 0 }
+        }
+
+        fn poll<D: Driver>(&mut self, d: &mut D) -> Step<D::Output> {
+            let mut ctx = StepCtx::new(&mut self.mem, None, self.clock, Pid(0), 1);
+            self.clock += 1;
+            d.poll(&mut ctx)
+        }
+
+        fn drive<D: Driver>(&mut self, d: &mut D, max: u32) -> Option<D::Output> {
+            for _ in 0..max {
+                if let Step::Done(o) = self.poll(d) {
+                    return Some(o);
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn solo_propose_resolve() {
+        let mut h = Harness::new();
+        let mut p = SaPropose::new(2, 0, 3, 1, Value::Int(42));
+        assert!(h.drive(&mut p, 100).is_some());
+        let mut r = SaResolve::new(2, 0, 3);
+        assert_eq!(h.drive(&mut r, 100), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn resolution_is_consistent_under_random_interleavings() {
+        for seed in 0..200 {
+            let mut h = Harness::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut props: Vec<SaPropose> =
+                (0..3).map(|p| SaPropose::new(2, 0, 3, p, Value::Int(100 + p as i64))).collect();
+            let mut live: Vec<usize> = (0..3).collect();
+            while !live.is_empty() {
+                let i = live[rng.gen_range(0..live.len())];
+                if let Step::Done(()) = h.poll(&mut props[i]) {
+                    live.retain(|x| *x != i);
+                }
+            }
+            // All proposers done → every resolver must return the same value.
+            let r1 = h.drive(&mut SaResolve::new(2, 0, 3), 1000).expect("resolve 1");
+            let r2 = h.drive(&mut SaResolve::new(2, 0, 3), 1000).expect("resolve 2");
+            assert_eq!(r1, r2, "seed {seed}");
+            assert!(
+                [100, 101, 102].map(Value::Int).contains(&r1),
+                "seed {seed}: invalid value {r1:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_proposer_blocks_resolution() {
+        let mut h = Harness::new();
+        // p0 proposes fully.
+        let mut p0 = SaPropose::new(2, 0, 2, 0, Value::Int(1));
+        h.drive(&mut p0, 100).unwrap();
+        // p1 raises its level and stops inside the unsafe window.
+        let mut p1 = SaPropose::new(2, 0, 2, 1, Value::Int(2));
+        while !p1.in_unsafe_window() {
+            h.poll(&mut p1);
+        }
+        // Resolution must stay pending while p1 is parked.
+        let mut r = SaResolve::new(2, 0, 2);
+        assert_eq!(h.drive(&mut r, 500), None, "resolve terminated despite blocked window");
+        // Once p1 finishes, resolution completes and agrees for everyone.
+        h.drive(&mut p1, 100).unwrap();
+        let v1 = h.drive(&mut r, 1000).expect("resolve after unblock");
+        let v2 = h.drive(&mut SaResolve::new(2, 0, 2), 1000).unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn late_proposer_adopts_committed_outcome() {
+        let mut h = Harness::new();
+        let mut p0 = SaPropose::new(2, 0, 2, 0, Value::Int(7));
+        h.drive(&mut p0, 100).unwrap();
+        let before = h.drive(&mut SaResolve::new(2, 0, 2), 1000).unwrap();
+        // p1 proposes afterwards; resolution must not change.
+        let mut p1 = SaPropose::new(2, 0, 2, 1, Value::Int(8));
+        h.drive(&mut p1, 100).unwrap();
+        let after = h.drive(&mut SaResolve::new(2, 0, 2), 1000).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(before, Value::Int(7));
+    }
+
+    #[test]
+    fn unresolved_instance_stays_pending() {
+        let mut h = Harness::new();
+        let mut r = SaResolve::new(2, 5, 2);
+        assert_eq!(h.drive(&mut r, 200), None);
+    }
+}

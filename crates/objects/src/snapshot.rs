@@ -1,0 +1,132 @@
+//! Double-collect snapshots.
+//!
+//! A [`DoubleCollect`] repeatedly collects a fixed set of registers until two
+//! consecutive collects return identical values; the repeated value is then a
+//! *linearizable* snapshot (no register changed between the two collects, so
+//! both equal the memory state at any point between them).
+//!
+//! Termination is guaranteed when each scanned register changes value a
+//! bounded number of times (as with safe-agreement level registers, which
+//! change at most twice); under unboundedly-changing registers the scan is
+//! only lock-free. This is the classic read-only scan; the paper's model
+//! also admits full wait-free atomic snapshots [Afek et al. 1993] — for our
+//! protocols the bounded-change argument applies everywhere a snapshot (and
+//! not a mere collect) is required, so the simpler construction suffices and
+//! is what we benchmark (see `DESIGN.md`, decision ⚖ 1).
+
+use wfa_kernel::memory::RegKey;
+use wfa_kernel::process::StepCtx;
+use wfa_kernel::value::Value;
+
+use crate::driver::{Collect, Driver, Step};
+
+/// Snapshot driver: collect until two consecutive collects agree.
+#[derive(Clone, Hash, Debug)]
+pub struct DoubleCollect {
+    keys: Vec<RegKey>,
+    inner: Collect,
+    prev: Option<Vec<Value>>,
+    rounds: u32,
+}
+
+impl DoubleCollect {
+    /// Snapshots `keys`.
+    pub fn new(keys: Vec<RegKey>) -> DoubleCollect {
+        DoubleCollect { inner: Collect::new(keys.clone()), keys, prev: None, rounds: 0 }
+    }
+
+    /// Number of full collects performed so far (instrumentation).
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+impl Driver for DoubleCollect {
+    type Output = Vec<Value>;
+
+    fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<Vec<Value>> {
+        let Step::Done(cur) = self.inner.poll(ctx) else { return Step::Pending };
+        self.rounds += 1;
+        if self.prev.as_ref() == Some(&cur) {
+            return Step::Done(cur);
+        }
+        self.prev = Some(cur);
+        self.inner = Collect::new(self.keys.clone());
+        Step::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_kernel::memory::SharedMemory;
+    use wfa_kernel::value::Pid;
+
+    fn keys(n: u32) -> Vec<RegKey> {
+        (0..n).map(|i| RegKey::new(9).at(0, i)).collect()
+    }
+
+    fn poll_once(d: &mut DoubleCollect, mem: &mut SharedMemory) -> Step<Vec<Value>> {
+        let mut ctx = StepCtx::new(mem, None, 0, Pid(0), 1);
+        d.poll(&mut ctx)
+    }
+
+    #[test]
+    fn quiescent_memory_snapshots_in_two_collects() {
+        let mut mem = SharedMemory::new();
+        let ks = keys(2);
+        mem.write(ks[0], Value::Int(1));
+        let mut d = DoubleCollect::new(ks.clone());
+        let mut result = Step::Pending;
+        for _ in 0..4 {
+            result = poll_once(&mut d, &mut mem);
+        }
+        assert_eq!(result, Step::Done(vec![Value::Int(1), Value::Unit]));
+        assert_eq!(d.rounds(), 2);
+    }
+
+    #[test]
+    fn interleaved_write_forces_retry() {
+        let mut mem = SharedMemory::new();
+        let ks = keys(2);
+        let mut d = DoubleCollect::new(ks.clone());
+        // First collect sees (⊥, ⊥).
+        poll_once(&mut d, &mut mem);
+        poll_once(&mut d, &mut mem);
+        // A write lands between collects.
+        mem.write(ks[1], Value::Int(5));
+        // Second collect sees (⊥, 5) ≠ first → retry.
+        poll_once(&mut d, &mut mem);
+        assert_eq!(poll_once(&mut d, &mut mem), Step::Pending);
+        // Third collect repeats (⊥, 5) → done.
+        poll_once(&mut d, &mut mem);
+        let got = poll_once(&mut d, &mut mem);
+        assert_eq!(got, Step::Done(vec![Value::Unit, Value::Int(5)]));
+        assert_eq!(d.rounds(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_a_memory_state_between_collects() {
+        // Writers flip registers a bounded number of times; the returned
+        // vector must equal some instantaneous state.
+        let mut mem = SharedMemory::new();
+        let ks = keys(3);
+        let mut states: Vec<Vec<Value>> = vec![ks.iter().map(|k| mem.peek(*k)).collect()];
+        let mut d = DoubleCollect::new(ks.clone());
+        let script: Vec<(usize, i64)> = vec![(0, 1), (2, 7), (0, 2)];
+        let mut si = 0;
+        let snap = loop {
+            if let Step::Done(s) = poll_once(&mut d, &mut mem) {
+                break s;
+            }
+            // Interleave one scripted write every few polls.
+            if si < script.len() {
+                let (r, v) = script[si];
+                si += 1;
+                mem.write(ks[r], Value::Int(v));
+                states.push(ks.iter().map(|k| mem.peek(*k)).collect());
+            }
+        };
+        assert!(states.contains(&snap), "snapshot {snap:?} not an instantaneous state");
+    }
+}

@@ -1,0 +1,203 @@
+//! Agreement tasks: consensus, k-set agreement, (U,k)-agreement (§2.1).
+//!
+//! `(U, k)`-agreement restricts participation to a subset `U` of the
+//! C-processes and allows at most `k` distinct decided values, each of which
+//! must be some participant's input. `(Π, k)`-agreement is classical k-set
+//! agreement [Chaudhuri 93]; `(Π, 1)`-agreement is consensus [FLP 85].
+
+use wfa_kernel::value::Value;
+
+use crate::task::{check_basics, Task, TaskViolation};
+use crate::vector::{distinct_values, values_come_from};
+
+/// The `(U, k)`-agreement task of §2.1.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_tasks::agreement::SetAgreement;
+/// use wfa_tasks::task::Task;
+/// use wfa_kernel::value::Value;
+///
+/// let task = SetAgreement::new(3, 2); // 2-set agreement among 3 processes
+/// let i = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+/// let ok = vec![Value::Int(0), Value::Int(1), Value::Int(0)];
+/// let bad = vec![Value::Int(0), Value::Int(1), Value::Int(2)]; // 3 distinct
+/// assert!(task.validate(&i, &ok).is_ok());
+/// assert!(task.validate(&i, &bad).is_err());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SetAgreement {
+    m: usize,
+    k: usize,
+    /// Allowed participants (`U`); `None` means all of `Π^C`.
+    u: Option<Vec<usize>>,
+}
+
+impl SetAgreement {
+    /// `(Π^C, k)`-agreement over `m` C-processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k` and `m ≥ 1`.
+    pub fn new(m: usize, k: usize) -> SetAgreement {
+        assert!(m >= 1 && k >= 1);
+        SetAgreement { m, k, u: None }
+    }
+
+    /// `(U, k)`-agreement: only processes in `u` may participate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is empty or contains an index `≥ m`.
+    pub fn among(m: usize, k: usize, u: Vec<usize>) -> SetAgreement {
+        assert!(!u.is_empty() && u.iter().all(|i| *i < m));
+        assert!(k >= 1);
+        SetAgreement { m, k, u: Some(u) }
+    }
+
+    /// The agreement bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `true` iff process `i` may participate.
+    pub fn may_participate(&self, i: usize) -> bool {
+        match &self.u {
+            None => i < self.m,
+            Some(u) => u.contains(&i),
+        }
+    }
+}
+
+impl Task for SetAgreement {
+    fn name(&self) -> String {
+        match (&self.u, self.k) {
+            (None, 1) => format!("consensus(m={})", self.m),
+            (None, k) => format!("{k}-set-agreement(m={})", self.m),
+            (Some(u), k) => format!("({u:?},{k})-agreement(m={})", self.m),
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.m
+    }
+
+    fn max_participants(&self) -> usize {
+        self.u.as_ref().map_or(self.m, Vec::len)
+    }
+
+    fn input_domain(&self, i: usize) -> Vec<Value> {
+        if self.may_participate(i) {
+            // Inputs in {0, …, k} (§2.1): k+1 values force disagreement
+            // pressure at concurrency k+1.
+            (0..=self.k as i64).map(Value::Int).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn validate(&self, input: &[Value], output: &[Value]) -> Result<(), TaskViolation> {
+        check_basics(self.m, input, output)?;
+        for i in 0..self.m {
+            if !input[i].is_unit() && !self.may_participate(i) {
+                return Err(TaskViolation::new(format!("process {i} not in U participated")));
+            }
+        }
+        if !values_come_from(output, input) {
+            return Err(TaskViolation::new("decided value was never proposed"));
+        }
+        let distinct = distinct_values(output);
+        if distinct.len() > self.k {
+            return Err(TaskViolation::new(format!(
+                "{} distinct values decided, k={}",
+                distinct.len(),
+                self.k
+            )));
+        }
+        Ok(())
+    }
+
+    fn choose_output(&self, i: usize, input: &[Value], output: &[Value]) -> Value {
+        debug_assert!(!input[i].is_unit());
+        // Adopt an existing decision when possible, else propose own input
+        // (keeps the distinct-decision count at max(1, current)).
+        distinct_values(output).first().cloned().unwrap_or_else(|| input[i].clone())
+    }
+}
+
+/// Consensus = `(Π^C, 1)`-agreement.
+pub fn consensus(m: usize) -> SetAgreement {
+    SetAgreement::new(m, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn v(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| if x < 0 { Value::Unit } else { Value::Int(x) }).collect()
+    }
+
+    #[test]
+    fn consensus_requires_single_value() {
+        let t = consensus(3);
+        let i = v(&[0, 1, 1]);
+        assert!(t.validate(&i, &v(&[1, 1, 1])).is_ok());
+        assert!(t.validate(&i, &v(&[0, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn validity_enforced() {
+        let t = consensus(2);
+        assert!(t.validate(&v(&[0, 0]), &v(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn partial_outputs_are_fine() {
+        let t = SetAgreement::new(3, 2);
+        let i = v(&[0, 1, 2]);
+        assert!(t.validate(&i, &v(&[-1, -1, -1])).is_ok());
+        assert!(t.validate(&i, &v(&[0, -1, 2])).is_ok());
+    }
+
+    #[test]
+    fn u_restriction() {
+        let t = SetAgreement::among(4, 1, vec![0, 2]);
+        assert!(t.may_participate(0) && !t.may_participate(1));
+        // process 1 participating violates I ∈ I.
+        assert!(t.validate(&v(&[0, 0, -1, -1]), &v(&[-1, -1, -1, -1])).is_err());
+        assert!(t.validate(&v(&[0, -1, 1, -1]), &v(&[0, -1, 0, -1])).is_ok());
+        assert_eq!(t.max_participants(), 2);
+        assert!(t.input_domain(1).is_empty());
+    }
+
+    #[test]
+    fn choose_output_extends_consistently() {
+        let t = SetAgreement::new(3, 2);
+        let i = v(&[0, 1, 2]);
+        let mut o = v(&[-1, -1, -1]);
+        for idx in [1, 0, 2] {
+            o[idx] = t.choose_output(idx, &i, &o);
+            assert!(t.validate(&i, &o).is_ok(), "after extending {idx}: {o:?}");
+        }
+        // First decider fixed the value; k=2 allows at most 2 distinct.
+        assert!(distinct_values(&o).len() <= 2);
+    }
+
+    #[test]
+    fn sample_inputs_respects_participants() {
+        let t = SetAgreement::new(3, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let i = t.sample_inputs(&[true, false, true], &mut rng);
+        assert!(!i[0].is_unit() && i[1].is_unit() && !i[2].is_unit());
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(consensus(3).name(), "consensus(m=3)");
+        assert_eq!(SetAgreement::new(4, 2).name(), "2-set-agreement(m=4)");
+    }
+}

@@ -1,0 +1,134 @@
+//! Leader election as a task.
+//!
+//! Every participant outputs the identity of one *participating* process,
+//! and all outputs agree. A colored cousin of consensus (the decided value
+//! names a process, so a solo participant must elect itself) — it sits in
+//! class 1 of the Theorem-10 hierarchy, like consensus and strong renaming,
+//! and rounds out the classification experiments with a task whose inputs
+//! carry no information at all.
+
+use wfa_kernel::value::Value;
+
+use crate::task::{check_basics, Task, TaskViolation};
+use crate::vector::{distinct_values, support};
+
+/// The leader-election task over `m` processes.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_tasks::election::LeaderElection;
+/// use wfa_tasks::task::Task;
+/// use wfa_kernel::value::Value;
+///
+/// let t = LeaderElection::new(3);
+/// let i = vec![Value::Int(0), Value::Unit, Value::Int(0)];
+/// let ok = vec![Value::Int(2), Value::Unit, Value::Int(2)];
+/// let bad = vec![Value::Int(1), Value::Unit, Value::Int(1)]; // 1 didn't run
+/// assert!(t.validate(&i, &ok).is_ok());
+/// assert!(t.validate(&i, &bad).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LeaderElection {
+    m: usize,
+}
+
+impl LeaderElection {
+    /// Leader election over `m` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> LeaderElection {
+        assert!(m >= 1);
+        LeaderElection { m }
+    }
+}
+
+impl Task for LeaderElection {
+    fn name(&self) -> String {
+        format!("leader-election(m={})", self.m)
+    }
+
+    fn arity(&self) -> usize {
+        self.m
+    }
+
+    fn input_domain(&self, _i: usize) -> Vec<Value> {
+        // Inputs carry no information; participation is the only signal.
+        vec![Value::Int(0)]
+    }
+
+    fn validate(&self, input: &[Value], output: &[Value]) -> Result<(), TaskViolation> {
+        check_basics(self.m, input, output)?;
+        let distinct = distinct_values(output);
+        if distinct.len() > 1 {
+            return Err(TaskViolation::new(format!("two leaders elected: {distinct:?}")));
+        }
+        if let Some(leader) = distinct.first() {
+            let Some(id) = leader.as_int() else {
+                return Err(TaskViolation::new("leader is not a process id"));
+            };
+            if id < 0 || id as usize >= self.m {
+                return Err(TaskViolation::new(format!("leader {id} out of range")));
+            }
+            if !support(input).contains(&(id as usize)) {
+                return Err(TaskViolation::new(format!(
+                    "elected leader {id} is not a participant"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn choose_output(&self, i: usize, input: &[Value], output: &[Value]) -> Value {
+        debug_assert!(!input[i].is_unit());
+        // Adopt the already-elected leader, else elect yourself (the only
+        // participant guaranteed present in your view).
+        distinct_values(output).first().cloned().unwrap_or(Value::Int(i as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| if x < 0 { Value::Unit } else { Value::Int(x) }).collect()
+    }
+
+    #[test]
+    fn agreement_on_participant() {
+        let t = LeaderElection::new(3);
+        let i = v(&[0, 0, -1]);
+        assert!(t.validate(&i, &v(&[1, 1, -1])).is_ok());
+        assert!(t.validate(&i, &v(&[0, 1, -1])).is_err()); // two leaders
+        assert!(t.validate(&i, &v(&[2, 2, -1])).is_err()); // non-participant
+    }
+
+    #[test]
+    fn partial_outputs_accepted() {
+        let t = LeaderElection::new(3);
+        let i = v(&[0, 0, 0]);
+        assert!(t.validate(&i, &v(&[-1, 2, -1])).is_ok());
+    }
+
+    #[test]
+    fn sequential_extension_is_valid() {
+        let t = LeaderElection::new(4);
+        let i = v(&[0, -1, 0, 0]);
+        let mut o = v(&[-1, -1, -1, -1]);
+        for idx in [2usize, 0, 3] {
+            o[idx] = t.choose_output(idx, &i, &o);
+            assert!(t.validate(&i, &o).is_ok(), "{o:?}");
+        }
+        assert_eq!(o[0], o[2]);
+    }
+
+    #[test]
+    fn out_of_range_leader_rejected() {
+        let t = LeaderElection::new(2);
+        let i = v(&[0, 0]);
+        assert!(t.validate(&i, &v(&[7, -1])).is_err());
+    }
+}

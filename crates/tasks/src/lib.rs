@@ -1,0 +1,45 @@
+//! # wfa-tasks — distributed tasks ⟨I, O, Δ⟩
+//!
+//! Executable task definitions for the *Wait-Freedom with Advice*
+//! reproduction (§2.1–§2.2 and §5 of the paper):
+//!
+//! * [`task::Task`] — the task trait: Δ-membership validation plus the
+//!   sequential-extension function (`choose_output`) the Appendix-A
+//!   1-concurrent universal solver builds on;
+//! * [`vector`] — the prefix order on `⊥`-padded vectors;
+//! * [`agreement::SetAgreement`] — `(U, k)`-agreement, k-set agreement and
+//!   consensus;
+//! * [`renaming::Renaming`] — `(j, ℓ)`-renaming and strong renaming;
+//! * [`renaming::WeakSymmetryBreaking`] — the colored companion task;
+//! * [`election::LeaderElection`] — agreement on a participant identity;
+//! * [`finite::FiniteTask`] — table-driven finite tasks (the form the
+//!   Figure-1 exploration enumerates).
+//!
+//! ```
+//! use wfa_tasks::prelude::*;
+//! use wfa_kernel::value::Value;
+//!
+//! let t = SetAgreement::new(3, 2);
+//! let input = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+//! let output = vec![Value::Int(0), Value::Int(1), Value::Int(1)];
+//! assert!(t.validate(&input, &output).is_ok());
+//! ```
+
+pub mod agreement;
+pub mod election;
+pub mod finite;
+pub mod renaming;
+pub mod task;
+pub mod vector;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::agreement::{consensus, SetAgreement};
+    pub use crate::election::LeaderElection;
+    pub use crate::finite::FiniteTask;
+    pub use crate::renaming::{Renaming, WeakSymmetryBreaking};
+    pub use crate::task::{check_basics, Task, TaskViolation};
+    pub use crate::vector::{
+        distinct_values, is_prefix, is_weak_prefix, support, values_come_from,
+    };
+}

@@ -1,0 +1,95 @@
+//! Input/output vector utilities (§2.1).
+//!
+//! Tasks are relations over m-vectors with `⊥` entries ([`Value::Unit`]):
+//! `I[i] = ⊥` means process `i` does not participate, `O[i] = ⊥` that it has
+//! not decided. This module implements the paper's *prefix* order on vectors
+//! and small helpers shared by all task definitions.
+
+use wfa_kernel::value::Value;
+
+/// `true` iff `a` is a prefix of `b` in the paper's sense: `a` has at least
+/// one non-`⊥` entry and every non-`⊥` entry of `a` equals `b`'s.
+///
+/// # Examples
+///
+/// ```
+/// use wfa_kernel::value::Value;
+/// use wfa_tasks::vector::is_prefix;
+/// let a = vec![Value::Unit, Value::Int(2)];
+/// let b = vec![Value::Int(1), Value::Int(2)];
+/// assert!(is_prefix(&a, &b));
+/// assert!(!is_prefix(&b, &a));
+/// ```
+pub fn is_prefix(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter().any(|v| !v.is_unit())
+        && a.iter().zip(b).all(|(x, y)| x.is_unit() || x == y)
+}
+
+/// `true` iff `a` is a prefix of `b` or equal to `b` (reflexive closure,
+/// also admitting the all-`⊥` vector).
+pub fn is_weak_prefix(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.is_unit() || x == y)
+}
+
+/// Indices with non-`⊥` entries (the participants of an input vector, or the
+/// deciders of an output vector).
+pub fn support(v: &[Value]) -> Vec<usize> {
+    v.iter().enumerate().filter(|(_, x)| !x.is_unit()).map(|(i, _)| i).collect()
+}
+
+/// The distinct non-`⊥` values of a vector, in sorted order.
+pub fn distinct_values(v: &[Value]) -> Vec<Value> {
+    let mut vals: Vec<Value> = v.iter().filter(|x| !x.is_unit()).cloned().collect();
+    vals.sort();
+    vals.dedup();
+    vals
+}
+
+/// `true` iff every non-`⊥` value of `out` also appears as a non-`⊥` value
+/// of `inp` (the validity condition of agreement tasks).
+pub fn values_come_from(out: &[Value], inp: &[Value]) -> bool {
+    out.iter().filter(|v| !v.is_unit()).all(|v| inp.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[i64]) -> Vec<Value> {
+        // -1 encodes ⊥ in these tests
+        xs.iter().map(|&x| if x < 0 { Value::Unit } else { Value::Int(x) }).collect()
+    }
+
+    #[test]
+    fn prefix_requires_one_entry() {
+        assert!(!is_prefix(&v(&[-1, -1]), &v(&[1, 2])));
+        assert!(is_weak_prefix(&v(&[-1, -1]), &v(&[1, 2])));
+    }
+
+    #[test]
+    fn prefix_respects_values() {
+        assert!(is_prefix(&v(&[1, -1]), &v(&[1, 2])));
+        assert!(!is_prefix(&v(&[3, -1]), &v(&[1, 2])));
+        assert!(is_prefix(&v(&[1, 2]), &v(&[1, 2]))); // reflexive on full vectors
+    }
+
+    #[test]
+    fn prefix_length_mismatch() {
+        assert!(!is_prefix(&v(&[1]), &v(&[1, 2])));
+    }
+
+    #[test]
+    fn support_and_distinct() {
+        let x = v(&[-1, 4, 4, 0]);
+        assert_eq!(support(&x), vec![1, 2, 3]);
+        assert_eq!(distinct_values(&x), vec![Value::Int(0), Value::Int(4)]);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(values_come_from(&v(&[-1, 2]), &v(&[2, 3])));
+        assert!(!values_come_from(&v(&[4, -1]), &v(&[2, 3])));
+        assert!(values_come_from(&v(&[-1, -1]), &v(&[2, 3]))); // vacuous
+    }
+}

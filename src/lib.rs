@@ -1,0 +1,30 @@
+//! # wfa — Wait-Freedom with Advice (PODC 2012), executable
+//!
+//! Facade crate re-exporting the full reproduction of
+//! *"Wait-Freedom with Advice"* (Delporte-Gallet, Fauconnier, Gafni,
+//! Kuznetsov; PODC 2012 / arXiv:1109.3056). See the repository `README.md`
+//! for the architecture and `DESIGN.md` for the paper-to-code inventory.
+//!
+//! * [`kernel`] — deterministic shared-memory interleaving simulator (§2.1).
+//! * [`fd`] — failure patterns, environments, failure detectors (Ω, ¬Ωk,
+//!   →Ωk, ...), history spec-checkers and reductions.
+//! * [`tasks`] — distributed tasks ⟨I, O, Δ⟩: consensus, k-set agreement,
+//!   renaming, weak symmetry breaking, table-driven finite tasks.
+//! * [`objects`] — wait-free objects from registers: collects, snapshots,
+//!   adopt-commit, safe agreement.
+//! * [`algorithms`] — the paper's algorithms: leader-based consensus,
+//!   k-set agreement from →Ωk advice, the 1-concurrent universal solver
+//!   (Prop. 1), renaming (Figures 3 and 4) and the wait-free baseline.
+//! * [`core`] — the EFD framework itself: C/S process split, fair-run
+//!   harness, BG-simulation, the Figure-2 simulation, the Theorem-9 generic
+//!   solver, the Theorem-7 lifting, and the Figure-1 ¬Ωk extraction.
+//! * [`modelcheck`] — bounded interleaving model checker and the Lemma-11
+//!   impossibility pipeline.
+
+pub use wfa_algorithms as algorithms;
+pub use wfa_core as core;
+pub use wfa_fd as fd;
+pub use wfa_kernel as kernel;
+pub use wfa_modelcheck as modelcheck;
+pub use wfa_objects as objects;
+pub use wfa_tasks as tasks;

@@ -1,0 +1,88 @@
+//! Experiment E2 — §2.2: n S-processes solve (Π, n)-set agreement with the
+//! **trivial** failure detector, in every environment.
+//!
+//! This is the paper's observation that synchronization processes help even
+//! without any failure detection — and the reason the model fixes `m = n`
+//! (with more S-processes than C-processes, tasks become solvable "for
+//! free"). The ensembles sweep environments E_0 … E_{n−1} and adversarial
+//! C-stops; safety and wait-freedom must hold in every run, including runs
+//! where every S-process but one crashes immediately.
+
+use std::sync::Arc;
+
+use wfa::algorithms::trivial_advice::{TrivialAdviceC, TrivialAdviceS};
+use wfa::core::harness::{wait_freedom_ensemble, EnsembleConfig, Inert, SystemFactory};
+use wfa::fd::detectors::FdGen;
+use wfa::kernel::process::DynProcess;
+use wfa::kernel::value::Value;
+use wfa::tasks::agreement::SetAgreement;
+use wfa::tasks::task::Task;
+
+fn factory(n: usize) -> impl Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>)
+{
+    move |input: &[Value], _fd: FdGen| {
+        let c: Vec<Box<dyn DynProcess>> = input
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                Value::Unit => Box::new(Inert) as Box<dyn DynProcess>,
+                v => Box::new(TrivialAdviceC::new(i, v.clone())) as Box<dyn DynProcess>,
+            })
+            .collect();
+        let s: Vec<Box<dyn DynProcess>> =
+            (0..n).map(|_| Box::new(TrivialAdviceS::new(n)) as Box<dyn DynProcess>).collect();
+        (c, s)
+    }
+}
+
+#[test]
+fn e2_wait_freedom_in_every_environment() {
+    for n in [2usize, 3, 5] {
+        for max_crashes in 0..n {
+            let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, n));
+            let cfg = EnsembleConfig { n, budget: 100_000, stab: 60, runs: 8 };
+            let f = factory(n);
+            let sf: &SystemFactory<'_> = &f;
+            wait_freedom_ensemble(
+                task,
+                &cfg,
+                max_crashes,
+                &FdGen::trivial_from_pattern,
+                sf,
+                (n * 31 + max_crashes) as u64,
+            );
+        }
+    }
+}
+
+/// Adapter: the trivial detector ignores stabilization and seed.
+trait TrivialFrom {
+    fn trivial_from_pattern(p: wfa::fd::pattern::FailurePattern, stab: u64, seed: u64) -> FdGen;
+}
+
+impl TrivialFrom for FdGen {
+    fn trivial_from_pattern(p: wfa::fd::pattern::FailurePattern, _stab: u64, _seed: u64) -> FdGen {
+        FdGen::trivial(p)
+    }
+}
+
+#[test]
+fn e2_output_count_is_bounded_by_n() {
+    // Direct check of the "at most n distinct values" argument: with all n
+    // S-processes writing V, distinct decided values never exceed n (the
+    // task bound) even with adversarially different inputs.
+    use wfa::core::harness::{EfdRun, RunReport};
+    use wfa::fd::pattern::FailurePattern;
+    for seed in 0..20 {
+        let n = 4;
+        let inputs: Vec<Value> = (0..n as i64).map(|i| Value::Int(100 + i)).collect();
+        let (c, s) = factory(n)(&inputs, FdGen::trivial(FailurePattern::failure_free(n)));
+        let mut run = EfdRun::new(c, s, FdGen::trivial(FailurePattern::failure_free(n)));
+        let mut sched = run.fair_sched(seed);
+        let stop = run.run(&mut sched, 100_000);
+        let task = SetAgreement::new(n, n);
+        let report = RunReport::evaluate(&run, &task, &inputs, stop);
+        report.assert_safe();
+        assert!(report.undecided.is_empty(), "seed {seed}: {report:?}");
+    }
+}

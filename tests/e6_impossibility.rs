@@ -1,0 +1,196 @@
+//! Experiment E6 — Lemma 11 / Theorem 12: the impossibility side,
+//! mechanically.
+//!
+//! Exhaustively refutes candidate strong-2-renaming algorithms through the
+//! pigeonhole → consensus-reduction → FLP pipeline, and verifies the core
+//! register objects (whose correctness the whole positive side rests on)
+//! over *all* interleavings at small sizes.
+
+use wfa::algorithms::consensus::{BallotAgent, BallotOutcome};
+use wfa::algorithms::renaming::RenamingFig4;
+use wfa::kernel::executor::Executor;
+use wfa::kernel::process::{DynProcess, Process, Status, StepCtx};
+use wfa::kernel::value::Value;
+use wfa::modelcheck::explorer::{explore_all, Limits};
+use wfa::modelcheck::lemma11::refute_strong_2_renaming;
+use wfa::objects::adopt_commit::AdoptCommit;
+use wfa::objects::driver::{Driver, Step};
+use wfa::objects::safe_agreement::{SaPropose, SaResolve};
+
+#[test]
+fn e6_fig4_candidate_is_refuted_exhaustively() {
+    let cand = |i: usize| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+    let r = refute_strong_2_renaming(&cand, &[0, 1, 2], Limits::default());
+    assert!(r.refuted(), "{:?}", r.report);
+    assert!(!r.report.truncated, "refutation must be exhaustive, not sampled");
+}
+
+/// Adopt-commit as a deciding process for exploration.
+#[derive(Clone, Hash)]
+struct AcProc(AdoptCommit);
+
+impl Process for AcProc {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.0.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(out) => Status::Decided(Value::tuple([
+                Value::Bool(out.is_commit()),
+                out.value().clone(),
+            ])),
+        }
+    }
+}
+
+#[test]
+fn e6_adopt_commit_exhaustive_two_and_three_parties() {
+    for (parties, inputs) in [(2u32, vec![0i64, 1]), (3, vec![0, 1, 1])] {
+        let mut ex = Executor::new();
+        for (p, v) in inputs.iter().enumerate() {
+            ex.add_process(Box::new(AcProc(AdoptCommit::new(
+                1,
+                0,
+                parties,
+                p as u32,
+                Value::Int(*v),
+            ))));
+        }
+        let inputs_v: Vec<Value> = inputs.iter().map(|v| Value::Int(*v)).collect();
+        let check = move |ex: &Executor| -> Option<String> {
+            let outs: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+            // validity
+            for o in &outs {
+                let val = o.get(1).unwrap();
+                if !inputs_v.contains(val) {
+                    return Some(format!("non-proposed value {val}"));
+                }
+            }
+            // agreement on commit
+            let committed: Vec<&Value> = outs
+                .iter()
+                .filter(|o| o.get(0).and_then(Value::as_bool) == Some(true))
+                .map(|o| o.get(1).unwrap())
+                .collect();
+            if let Some(cv) = committed.first() {
+                for o in &outs {
+                    if o.get(1).unwrap() != *cv {
+                        return Some(format!("commit {cv} vs outcome {o}"));
+                    }
+                }
+            }
+            None
+        };
+        let report = explore_all(&ex, &check, Limits::default());
+        assert!(report.fully_verified(), "parties={parties}: {report:?}");
+        assert!(report.states > 100, "exploration too shallow: {}", report.states);
+    }
+}
+
+/// Ballot safety explored exhaustively for two competing leaders: no
+/// interleaving decides two different values. Each leader runs a bounded
+/// retry loop (2 attempts — enough to cover abort paths within a finite
+/// state space).
+#[derive(Clone, Hash)]
+struct BoundedLeader {
+    agent: Option<BallotAgent>,
+    me: u32,
+    attempts: u32,
+    value: Value,
+}
+
+impl BoundedLeader {
+    fn new(me: u32, value: Value) -> BoundedLeader {
+        BoundedLeader { agent: Some(BallotAgent::new(0, 2, me, 0, value.clone())), me, attempts: 2, value }
+    }
+}
+
+impl Process for BoundedLeader {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        let Some(agent) = &mut self.agent else { return Status::Halted };
+        match agent.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(BallotOutcome::Decided(v)) => Status::Decided(v),
+            Step::Done(BallotOutcome::Aborted { higher }) => {
+                if self.attempts == 0 {
+                    self.agent = None;
+                    return Status::Halted;
+                }
+                self.attempts -= 1;
+                let round = BallotAgent::round_above(2, self.me, higher);
+                self.agent = Some(BallotAgent::new(0, 2, self.me, round, self.value.clone()));
+                Status::Running
+            }
+        }
+    }
+}
+
+#[test]
+fn e6_ballot_safety_exhaustive() {
+    let mut ex = Executor::new();
+    for p in 0..2u32 {
+        ex.add_process(Box::new(BoundedLeader::new(p, Value::Int(p as i64))));
+    }
+    let check = |ex: &Executor| -> Option<String> {
+        let d: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        if d.len() == 2 && d[0] != d[1] {
+            return Some(format!("ballot disagreement: {} vs {}", d[0], d[1]));
+        }
+        None
+    };
+    let report = explore_all(&ex, &check, Limits { max_states: 5_000_000, max_depth: 100_000 });
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated, "must be exhaustive ({} states)", report.states);
+}
+
+/// Safe-agreement agreement property explored exhaustively: two proposers +
+/// two resolvers; all resolutions equal.
+#[derive(Clone, Hash)]
+struct SaParty {
+    propose: Option<SaPropose>,
+    resolve: SaResolve,
+}
+
+impl SaParty {
+    fn new(me: u32, v: i64) -> SaParty {
+        SaParty {
+            propose: Some(SaPropose::new(2, 0, 2, me, Value::Int(v))),
+            resolve: SaResolve::new(2, 0, 2),
+        }
+    }
+}
+
+impl Process for SaParty {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        if let Some(p) = &mut self.propose {
+            if let Step::Done(()) = p.poll(ctx) {
+                self.propose = None;
+            }
+            return Status::Running;
+        }
+        match self.resolve.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(v) => Status::Decided(v),
+        }
+    }
+}
+
+#[test]
+fn e6_safe_agreement_exhaustive() {
+    let mut ex = Executor::new();
+    ex.add_process(Box::new(SaParty::new(0, 10)));
+    ex.add_process(Box::new(SaParty::new(1, 20)));
+    let check = |ex: &Executor| -> Option<String> {
+        let d: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        if d.len() == 2 && d[0] != d[1] {
+            return Some(format!("safe-agreement disagreement: {} vs {}", d[0], d[1]));
+        }
+        for v in d {
+            if *v != Value::Int(10) && *v != Value::Int(20) {
+                return Some(format!("invalid value {v}"));
+            }
+        }
+        None
+    };
+    let report = explore_all(&ex, &check, Limits { max_states: 5_000_000, max_depth: 100_000 });
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated, "must be exhaustive ({} states)", report.states);
+}

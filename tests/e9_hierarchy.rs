@@ -1,0 +1,98 @@
+//! Experiment E9 — Theorem 10: the complete task classification.
+//!
+//! Builds the hierarchy table over n = 4 processes: for each task, the
+//! largest concurrency level at which adversarial ensembles all satisfy it
+//! (the solvable side; the unsolvable side at the boundary is witnessed by
+//! concrete violating schedules, and for strong renaming by the exhaustive
+//! Lemma-11 refutation in E6). Checks the paper's placements:
+//!
+//! | task                   | class | weakest detector |
+//! |------------------------|-------|------------------|
+//! | consensus              | 1     | Ω (= ¬Ω1)        |
+//! | k-set agreement        | k     | ¬Ωk              |
+//! | strong (j,j)-renaming  | 1     | Ω                |
+//! | (j, j+k−1)-renaming    | ≥ k   | at most ¬Ωk      |
+
+use std::sync::Arc;
+
+use wfa::core::classify::{concurrency_profile, probe_concurrency, ProbeOutcome};
+use wfa::kernel::process::DynProcess;
+use wfa::kernel::value::Value;
+use wfa::tasks::agreement::SetAgreement;
+use wfa::tasks::election::LeaderElection;
+use wfa::tasks::renaming::Renaming;
+use wfa::tasks::task::Task;
+use wfa_algorithms::one_concurrent::OneConcurrentSolver;
+use wfa_algorithms::renaming::RenamingFig4;
+
+fn universal(task: Arc<dyn Task>) -> impl Fn(usize, &Value) -> Box<dyn DynProcess> {
+    move |i, input| Box::new(OneConcurrentSolver::new(i, task.clone(), input.clone()))
+}
+
+#[test]
+fn e9_agreement_column() {
+    let n = 4;
+    for k in 1..=n {
+        let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, k));
+        let algo = universal(task.clone());
+        let (level, rows) = concurrency_profile(&task, &algo, n, 600, 200_000, 42);
+        assert_eq!(level, Some(k), "k-set agreement (k={k}) misclassified: {rows:?}");
+        // The boundary violation carries a reproducible counterexample.
+        if k < n {
+            match &rows[k].outcome {
+                ProbeOutcome::Violated { violation, .. } => {
+                    assert!(violation.reason.contains("distinct"), "{violation}");
+                }
+                other => panic!("expected boundary violation at k+1: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn e9_leader_election_is_class_1() {
+    // Inputs carry no information; agreement on a participant identity is
+    // still consensus-hard: class 1.
+    let n = 4;
+    let task: Arc<dyn Task> = Arc::new(LeaderElection::new(n));
+    let algo = universal(task.clone());
+    let (level, rows) = concurrency_profile(&task, &algo, 3, 400, 200_000, 31);
+    assert_eq!(level, Some(1), "leader election misclassified: {rows:?}");
+}
+
+#[test]
+fn e9_renaming_column() {
+    let n = 4;
+    let j = 3;
+    // strong renaming: class 1
+    let task: Arc<dyn Task> = Arc::new(Renaming::strong(n, j));
+    let algo = |i: usize, _input: &Value| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+    let (level, rows) = concurrency_profile(&task, &algo, 3, 600, 300_000, 7);
+    assert_eq!(level, Some(1), "strong renaming misclassified: {rows:?}");
+    // (j, j+k−1)-renaming is solvable k-concurrently for every k ≤ j.
+    for k in 1..=j {
+        let task: Arc<dyn Task> = Arc::new(Renaming::new(n, j, j + k - 1));
+        let out = probe_concurrency(&task, &algo, k, 400, 300_000, 21);
+        assert!(out.ok(), "(3,{})-renaming at k={k}: {out:?}", j + k - 1);
+    }
+}
+
+#[test]
+fn e9_equivalence_within_a_class() {
+    // Theorem 10's corollary: tasks in the same class need the same advice.
+    // Operationally: the Theorem-9 solver with →Ωk advice solves *both*
+    // k-set agreement and (j, j+k−1)-renaming — one detector, every task of
+    // the class. (The solver tests in E5 exercise this; here we pin the
+    // classes to be equal first.)
+    let n = 4;
+    let k = 2;
+    let ksa: Arc<dyn Task> = Arc::new(SetAgreement::new(n, k));
+    let ksa_algo = universal(ksa.clone());
+    let (ksa_level, _) = concurrency_profile(&ksa, &ksa_algo, n, 600, 200_000, 5);
+    let ren: Arc<dyn Task> = Arc::new(Renaming::new(n, 3, 3 + k - 1));
+    let ren_algo =
+        |i: usize, _input: &Value| Box::new(RenamingFig4::new(i, 4)) as Box<dyn DynProcess>;
+    let ren_ok = probe_concurrency(&ren, &ren_algo, k, 400, 300_000, 5).ok();
+    assert_eq!(ksa_level, Some(k));
+    assert!(ren_ok, "(3,4)-renaming must be solvable {k}-concurrently");
+}

@@ -1,0 +1,133 @@
+//! Exhaustive verification of the paper's *positive* results at small sizes.
+//!
+//! The sampled ensembles (E1/E8/E9) gain their teeth here: using the model
+//! checker's k-concurrent schedule filter, the claims are verified over
+//! **every** k-concurrent interleaving of small instances — the strongest
+//! finite evidence short of a proof.
+//!
+//! * Proposition 1, exhaustively: the universal automaton solves consensus
+//!   in every 1-concurrent schedule of 3 processes, for every input vector.
+//! * Theorem 15, exhaustively: Figure 4 solves `(j, j+k−1)`-renaming in
+//!   every k-concurrent schedule for small (j, k).
+//! * Lemma 11's boundary, exhaustively: Figure 4 *fails* `(j, j)`-renaming
+//!   somewhere in the 2-concurrent schedule space (the flip side of the
+//!   same exploration).
+
+use std::sync::Arc;
+
+use wfa::algorithms::one_concurrent::OneConcurrentSolver;
+use wfa::algorithms::renaming::RenamingFig4;
+use wfa::kernel::executor::Executor;
+use wfa::kernel::value::{Pid, Value};
+use wfa::modelcheck::explorer::{k_concurrent_filter, Explorer, Limits};
+use wfa::tasks::agreement::consensus;
+use wfa::tasks::renaming::Renaming;
+use wfa::tasks::task::Task;
+
+#[test]
+fn proposition1_exhaustive_for_3_process_consensus() {
+    let task: Arc<dyn Task> = Arc::new(consensus(3));
+    for inputs in [[0i64, 0, 1], [0, 1, 0], [1, 0, 0], [0, 1, 1], [1, 1, 0], [0, 0, 0]] {
+        let mut ex = Executor::new();
+        let pids: Vec<Pid> = (0..3)
+            .map(|i| {
+                ex.add_process(Box::new(OneConcurrentSolver::new(
+                    i,
+                    task.clone(),
+                    Value::Int(inputs[i]),
+                )))
+            })
+            .collect();
+        let input_vec: Vec<Value> = inputs.iter().map(|v| Value::Int(*v)).collect();
+        let t2 = task.clone();
+        let check = move |ex: &Executor| -> Option<String> {
+            let out: Vec<Value> =
+                ex.pids().map(|p| ex.status(p).decision().cloned().unwrap_or(Value::Unit)).collect();
+            t2.validate(&input_vec, &out).err().map(|e| e.to_string())
+        };
+        let filter = k_concurrent_filter(pids.clone(), 1);
+        let report =
+            Explorer::new(pids, &check, Limits::default()).with_filter(&filter).run(&ex);
+        assert!(report.fully_verified(), "inputs {inputs:?}: {report:?}");
+        assert!(report.states > 3, "exploration trivially small: {}", report.states);
+    }
+}
+
+/// Theorem 15 exhaustively: every k-concurrent interleaving of Figure 4
+/// keeps names within j+k−1.
+fn fig4_exhaustive(j: usize, k: usize, m: usize) -> wfa::modelcheck::explorer::ExploreReport {
+    let task = Renaming::new(m, j, j + k - 1);
+    let mut ex = Executor::new();
+    let pids: Vec<Pid> =
+        (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
+    let pids2 = pids.clone();
+    let check = move |ex: &Executor| -> Option<String> {
+        let mut input = vec![Value::Unit; m];
+        let mut output = vec![Value::Unit; m];
+        for (i, p) in pids2.iter().enumerate() {
+            input[i] = Value::Int(1000 + i as i64);
+            output[i] = ex.status(*p).decision().cloned().unwrap_or(Value::Unit);
+        }
+        task.validate(&input, &output).err().map(|e| e.to_string())
+    };
+    let filter = k_concurrent_filter(pids.clone(), k);
+    Explorer::new(pids, &check, Limits { max_states: 20_000_000, max_depth: 100_000 })
+        .with_filter(&filter)
+        .run(&ex)
+}
+
+#[test]
+fn theorem15_exhaustive_2_2_plus_1() {
+    // (2, 3)-renaming in every 2-concurrent (= every) schedule of 2 procs.
+    let report = fig4_exhaustive(2, 2, 3);
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated, "must be exhaustive ({} states)", report.states);
+    assert!(report.undecided_cycle.is_none(), "Figure 4 must terminate: {report:?}");
+}
+
+#[test]
+fn theorem15_exhaustive_2_concurrent_of_3() {
+    // (3, 4)-renaming over every 2-concurrent schedule of 3 processes —
+    // the configuration whose *sampled* violation (with collect-based
+    // scans) motivated the snapshot fix; now verified exhaustively.
+    let report = fig4_exhaustive(3, 2, 4);
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated, "must be exhaustive ({} states)", report.states);
+}
+
+#[test]
+fn theorem15_exhaustive_1_concurrent_of_3() {
+    // Strong renaming 1-concurrently: names within j.
+    let report = fig4_exhaustive(3, 1, 4);
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated);
+}
+
+#[test]
+fn boundary_strong_renaming_fails_2_concurrently_exhaustively() {
+    // The same exploration at (j, l) = (3, 3): some 2-concurrent schedule
+    // must push a name to 4 — Lemma 11's boundary, found exhaustively.
+    let m = 4;
+    let j = 3;
+    let task = Renaming::strong(m, j);
+    let mut ex = Executor::new();
+    let pids: Vec<Pid> =
+        (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
+    let pids2 = pids.clone();
+    let check = move |ex: &Executor| -> Option<String> {
+        let mut input = vec![Value::Unit; m];
+        let mut output = vec![Value::Unit; m];
+        for (i, p) in pids2.iter().enumerate() {
+            input[i] = Value::Int(1000 + i as i64);
+            output[i] = ex.status(*p).decision().cloned().unwrap_or(Value::Unit);
+        }
+        task.validate(&input, &output).err().map(|e| e.to_string())
+    };
+    let filter = k_concurrent_filter(pids.clone(), 2);
+    let report = Explorer::new(pids, &check, Limits { max_states: 20_000_000, max_depth: 100_000 })
+        .with_filter(&filter)
+        .run(&ex);
+    let (reason, sched) = report.violation.expect("a 2-concurrent violation must exist");
+    assert!(reason.contains("outside"), "unexpected violation kind: {reason}");
+    assert!(!sched.is_empty());
+}

@@ -1,0 +1,428 @@
+//! Mutation sensitivity: the exhaustive checker catches broken protocols.
+//!
+//! Exhaustive verification is only as credible as its ability to *fail*:
+//! this suite re-implements the core objects with classic bugs planted and
+//! confirms the model checker finds a concrete counterexample schedule for
+//! each — including the subtle one this project's own development surfaced
+//! analytically (safe agreement with single collects instead of
+//! linearizable scans admits a disagreement; see the module docs of
+//! `wfa-objects::safe_agreement`).
+
+use wfa::kernel::executor::Executor;
+use wfa::kernel::memory::RegKey;
+use wfa::kernel::process::{Process, Status, StepCtx};
+use wfa::kernel::value::Value;
+use wfa::modelcheck::explorer::{explore_all, Limits};
+
+// --- mutation 1: ballots that skip the phase-2 abort check ----------------
+
+/// A Paxos-style ballot voter that decides right after its phase-2 write,
+/// without re-collecting for higher ballots — the classic broken Paxos.
+#[derive(Clone, Hash)]
+struct EagerBallot {
+    me: u32,
+    value: i64,
+    pc: u8,
+    seen_higher: bool,
+    collect_at: u32,
+    adopted: Option<i64>,
+}
+
+impl EagerBallot {
+    fn new(me: u32, value: i64) -> EagerBallot {
+        EagerBallot { me, value, pc: 0, seen_higher: false, collect_at: 0, adopted: None }
+    }
+
+    fn dblock(p: u32) -> RegKey {
+        RegKey::idx(120, 0, p, 0, 0)
+    }
+
+    fn ballot(&self) -> i64 {
+        self.me as i64 + 1
+    }
+}
+
+impl Process for EagerBallot {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.pc {
+            // phase 1: publish mbal
+            0 => {
+                ctx.write(
+                    Self::dblock(self.me),
+                    Value::tuple([Value::Int(self.ballot()), Value::Int(0), Value::Unit]),
+                );
+                self.pc = 1;
+                self.collect_at = 0;
+                Status::Running
+            }
+            // phase-1 collect
+            1 => {
+                let p = self.collect_at;
+                let v = ctx.read(Self::dblock(p));
+                if p != self.me {
+                    if let Some(mbal) = v.get(0).and_then(Value::as_int) {
+                        if mbal > self.ballot() {
+                            self.seen_higher = true;
+                        }
+                        if let Some(bal) = v.get(1).and_then(Value::as_int) {
+                            if bal > 0 {
+                                self.adopted = v.get(2).and_then(Value::as_int);
+                            }
+                        }
+                    }
+                }
+                self.collect_at += 1;
+                if self.collect_at == 2 {
+                    if self.seen_higher {
+                        // retry forever with the same ballot (irrelevant for
+                        // the safety bug we're hunting)
+                        self.pc = 0;
+                        self.seen_higher = false;
+                    } else {
+                        self.pc = 2;
+                    }
+                }
+                Status::Running
+            }
+            // phase 2: write accepted value and DECIDE IMMEDIATELY (bug:
+            // no second collect)
+            _ => {
+                let v = self.adopted.unwrap_or(self.value);
+                ctx.write(
+                    Self::dblock(self.me),
+                    Value::tuple([
+                        Value::Int(self.ballot()),
+                        Value::Int(self.ballot()),
+                        Value::Int(v),
+                    ]),
+                );
+                Status::Decided(Value::Int(v))
+            }
+        }
+    }
+}
+
+#[test]
+fn checker_catches_eager_ballots() {
+    let mut ex = Executor::new();
+    ex.add_process(Box::new(EagerBallot::new(0, 10)));
+    ex.add_process(Box::new(EagerBallot::new(1, 20)));
+    let check = |ex: &Executor| -> Option<String> {
+        let d: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        (d.len() == 2 && d[0] != d[1]).then(|| format!("disagreement {} vs {}", d[0], d[1]))
+    };
+    let report = explore_all(&ex, &check, Limits::default());
+    assert!(
+        report.violation.is_some(),
+        "the broken ballot protocol must disagree somewhere: {report:?}"
+    );
+}
+
+// --- mutation 2: adopt-commit that commits off phase 1 --------------------
+
+/// Adopt-commit that skips phase 2: commit whenever the phase-1 collect saw
+/// only one's own value. Two processes can then commit different values.
+#[derive(Clone, Hash)]
+struct OnePhaseAc {
+    me: u32,
+    value: i64,
+    pc: u8,
+    collect_at: u32,
+    all_mine: bool,
+}
+
+impl OnePhaseAc {
+    fn a_key(p: u32) -> RegKey {
+        RegKey::idx(121, 0, p, 0, 0)
+    }
+}
+
+impl Process for OnePhaseAc {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.pc {
+            0 => {
+                ctx.write(Self::a_key(self.me), Value::Int(self.value));
+                self.pc = 1;
+                self.all_mine = true;
+                self.collect_at = 0;
+                Status::Running
+            }
+            _ => {
+                let v = ctx.read(Self::a_key(self.collect_at));
+                if !v.is_unit() && v != Value::Int(self.value) {
+                    self.all_mine = false;
+                }
+                self.collect_at += 1;
+                if self.collect_at == 2 {
+                    return Status::Decided(Value::tuple([
+                        Value::Bool(self.all_mine), // commit flag
+                        Value::Int(self.value),
+                    ]));
+                }
+                Status::Running
+            }
+        }
+    }
+}
+
+#[test]
+fn checker_catches_one_phase_adopt_commit() {
+    let mut ex = Executor::new();
+    ex.add_process(Box::new(OnePhaseAc { me: 0, value: 1, pc: 0, collect_at: 0, all_mine: true }));
+    ex.add_process(Box::new(OnePhaseAc { me: 1, value: 2, pc: 0, collect_at: 0, all_mine: true }));
+    // agreement-on-commit: if someone commits v, every outcome carries v.
+    let check = |ex: &Executor| -> Option<String> {
+        let outs: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        let committed: Vec<&Value> = outs
+            .iter()
+            .filter(|o| o.get(0).and_then(Value::as_bool) == Some(true))
+            .map(|o| o.get(1).unwrap())
+            .collect();
+        if let Some(cv) = committed.first() {
+            for o in &outs {
+                if o.get(1).unwrap() != *cv {
+                    return Some(format!("commit {cv} vs outcome {o}"));
+                }
+            }
+        }
+        None
+    };
+    let report = explore_all(&ex, &check, Limits::default());
+    assert!(report.violation.is_some(), "one-phase adopt-commit must break: {report:?}");
+}
+
+// --- mutation 3: safe agreement with single collects ----------------------
+
+/// Safe agreement whose level scan is a plain one-register-per-step collect
+/// (not a linearizable double collect). Development analysis predicted this
+/// admits a disagreement: a resolver can read `L[j'] = ⊥` before `j'` raises
+/// its level, then read `L[j] = 2` and return `x[j]`, while `j'` slips to
+/// level 2 with a smaller index behind the collect — a later resolver then
+/// returns `x[j']`.
+#[derive(Clone, Hash)]
+struct CollectSa {
+    me: u32,
+    value: i64,
+    pc: u8,
+    collect_at: u32,
+    saw_two: bool,
+    resolving: bool,
+    saw_one: bool,
+    min_two: Option<u32>,
+}
+
+impl CollectSa {
+    fn x_key(p: u32) -> RegKey {
+        RegKey::idx(122, 0, p, 0, 0)
+    }
+
+    fn l_key(p: u32) -> RegKey {
+        RegKey::idx(122, 1, p, 0, 0)
+    }
+
+    fn new(me: u32, value: i64) -> CollectSa {
+        CollectSa {
+            me,
+            value,
+            pc: 0,
+            collect_at: 0,
+            saw_two: false,
+            resolving: false,
+            saw_one: false,
+            min_two: None,
+        }
+    }
+}
+
+impl Process for CollectSa {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        if !self.resolving {
+            match self.pc {
+                0 => {
+                    ctx.write(Self::x_key(self.me), Value::Int(self.value));
+                    self.pc = 1;
+                }
+                1 => {
+                    ctx.write(Self::l_key(self.me), Value::Int(1));
+                    self.pc = 2;
+                    self.collect_at = 0;
+                    self.saw_two = false;
+                }
+                2 => {
+                    let v = ctx.read(Self::l_key(self.collect_at));
+                    if v.as_int() == Some(2) {
+                        self.saw_two = true;
+                    }
+                    self.collect_at += 1;
+                    if self.collect_at == 2 {
+                        self.pc = 3;
+                    }
+                }
+                _ => {
+                    let lvl = if self.saw_two { 0 } else { 2 };
+                    ctx.write(Self::l_key(self.me), Value::Int(lvl));
+                    self.resolving = true;
+                    self.collect_at = 0;
+                    self.saw_one = false;
+                    self.min_two = None;
+                }
+            }
+            return Status::Running;
+        }
+        // resolve with a single collect (the planted bug)
+        if self.collect_at < 2 {
+            let v = ctx.read(Self::l_key(self.collect_at));
+            match v.as_int() {
+                Some(1) => self.saw_one = true,
+                Some(2) if self.min_two.is_none() => self.min_two = Some(self.collect_at),
+                _ => {}
+            }
+            self.collect_at += 1;
+            return Status::Running;
+        }
+        match (self.saw_one, self.min_two) {
+            (false, Some(w)) => {
+                let v = ctx.read(Self::x_key(w));
+                Status::Decided(v)
+            }
+            _ => {
+                // retry the resolve
+                self.collect_at = 0;
+                self.saw_one = false;
+                self.min_two = None;
+                let _ = ctx.read(Self::l_key(0));
+                Status::Running
+            }
+        }
+    }
+}
+
+/// A resolver-only party using the same buggy single-collect resolution.
+#[derive(Clone, Hash)]
+struct CollectResolver {
+    collect_at: u32,
+    saw_one: bool,
+    min_two: Option<u32>,
+}
+
+impl Process for CollectResolver {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        if self.collect_at < 2 {
+            let v = ctx.read(CollectSa::l_key(self.collect_at));
+            match v.as_int() {
+                Some(1) => self.saw_one = true,
+                Some(2) if self.min_two.is_none() => self.min_two = Some(self.collect_at),
+                _ => {}
+            }
+            self.collect_at += 1;
+            return Status::Running;
+        }
+        match (self.saw_one, self.min_two) {
+            (false, Some(w)) => {
+                let v = ctx.read(CollectSa::x_key(w));
+                Status::Decided(v)
+            }
+            _ => {
+                self.collect_at = 0;
+                self.saw_one = false;
+                self.min_two = None;
+                let _ = ctx.read(CollectSa::l_key(0));
+                Status::Running
+            }
+        }
+    }
+}
+
+#[test]
+fn checker_confirms_single_collect_safe_agreement_is_broken() {
+    // The race needs an *independent* resolver: it reads L[0] = ⊥ before
+    // proposer 0 raises its level, then L[1] = 2, and returns x[1]; proposer
+    // 0 meanwhile misses the 2 (its collect read L[1] pre-write) and slips
+    // to level 2 with the smaller index — later resolutions return x[0].
+    let mut ex = Executor::new();
+    ex.add_process(Box::new(CollectSa::new(0, 10)));
+    ex.add_process(Box::new(CollectSa::new(1, 20)));
+    ex.add_process(Box::new(CollectResolver { collect_at: 0, saw_one: false, min_two: None }));
+    let check = |ex: &Executor| -> Option<String> {
+        let d: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        for a in &d {
+            for b in &d {
+                if a != b {
+                    return Some(format!("disagreement {a} vs {b}"));
+                }
+            }
+        }
+        None
+    };
+    let report = explore_all(&ex, &check, Limits::default());
+    assert!(
+        report.violation.is_some(),
+        "single-collect safe agreement must disagree somewhere (the analysis \
+         behind the DoubleCollect requirement): {report:?}"
+    );
+}
+
+/// The control: the *real* (double-collect) safe agreement passes the very
+/// same three-party exhaustive exploration that broke the mutant.
+#[test]
+fn control_real_safe_agreement_survives_the_same_exploration() {
+    use wfa::objects::driver::{Driver, Step};
+    use wfa::objects::safe_agreement::{SaPropose, SaResolve};
+
+    #[derive(Clone, Hash)]
+    struct RealSa {
+        propose: Option<SaPropose>,
+        resolve: SaResolve,
+    }
+
+    impl Process for RealSa {
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+            if let Some(p) = &mut self.propose {
+                if let Step::Done(()) = p.poll(ctx) {
+                    self.propose = None;
+                }
+                return Status::Running;
+            }
+            match self.resolve.poll(ctx) {
+                Step::Pending => Status::Running,
+                Step::Done(v) => Status::Decided(v),
+            }
+        }
+    }
+
+    #[derive(Clone, Hash)]
+    struct RealResolver(SaResolve);
+
+    impl Process for RealResolver {
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+            match self.0.poll(ctx) {
+                Step::Pending => Status::Running,
+                Step::Done(v) => Status::Decided(v),
+            }
+        }
+    }
+
+    let mut ex = Executor::new();
+    for p in 0..2u32 {
+        ex.add_process(Box::new(RealSa {
+            propose: Some(SaPropose::new(123, 0, 2, p, Value::Int(10 + p as i64))),
+            resolve: SaResolve::new(123, 0, 2),
+        }));
+    }
+    ex.add_process(Box::new(RealResolver(SaResolve::new(123, 0, 2))));
+    let check = |ex: &Executor| -> Option<String> {
+        let d: Vec<&Value> = ex.pids().filter_map(|p| ex.status(p).decision()).collect();
+        for a in &d {
+            for b in &d {
+                if a != b {
+                    return Some(format!("disagreement {a} vs {b}"));
+                }
+            }
+        }
+        None
+    };
+    let report =
+        explore_all(&ex, &check, Limits { max_states: 20_000_000, max_depth: 100_000 });
+    assert!(report.violation.is_none(), "{report:?}");
+    assert!(!report.truncated, "must be exhaustive ({} states)", report.states);
+}

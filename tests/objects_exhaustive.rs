@@ -1,0 +1,148 @@
+//! Exhaustive model-checking of the register objects beyond the cases in
+//! E6: splitters and one-shot immediate snapshots over *all* interleavings
+//! at small sizes (the objects the simulation layers and renaming baselines
+//! stand on).
+
+use wfa::kernel::executor::Executor;
+use wfa::kernel::process::{Process, Status, StepCtx};
+use wfa::kernel::value::Value;
+use wfa::modelcheck::explorer::{explore_all, Limits};
+use wfa::objects::driver::{Driver, Step};
+use wfa::objects::immediate_snapshot::ImmediateSnapshot;
+use wfa::objects::splitter::{Splitter, SplitterOutcome};
+
+#[derive(Clone, Hash)]
+struct SplitterProc(Splitter);
+
+impl Process for SplitterProc {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.0.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(o) => Status::Decided(Value::Int(match o {
+                SplitterOutcome::Stop => 0,
+                SplitterOutcome::Right => 1,
+                SplitterOutcome::Down => 2,
+            })),
+        }
+    }
+}
+
+#[test]
+fn splitter_property_exhaustive() {
+    for n in 2..=3usize {
+        let mut ex = Executor::new();
+        for p in 0..n {
+            ex.add_process(Box::new(SplitterProc(Splitter::new(50, 0, p as i64))));
+        }
+        let check = move |ex: &Executor| -> Option<String> {
+            let outs: Vec<i64> =
+                ex.pids().filter_map(|p| ex.status(p).decision()).filter_map(Value::as_int).collect();
+            let done = outs.len() == n;
+            let stops = outs.iter().filter(|o| **o == 0).count();
+            let rights = outs.iter().filter(|o| **o == 1).count();
+            let downs = outs.iter().filter(|o| **o == 2).count();
+            if stops > 1 {
+                return Some(format!("{stops} processes stopped"));
+            }
+            if done && rights == n {
+                return Some("everyone went right".into());
+            }
+            if done && downs == n {
+                return Some("everyone went down".into());
+            }
+            None
+        };
+        let report = explore_all(&ex, &check, Limits::default());
+        assert!(report.fully_verified(), "n={n}: {report:?}");
+    }
+}
+
+#[derive(Clone, Hash)]
+struct IsProc(ImmediateSnapshot);
+
+impl Process for IsProc {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+        match self.0.poll(ctx) {
+            Step::Pending => Status::Running,
+            Step::Done(view) => Status::Decided(Value::Tuple(
+                view.into_iter().map(|(p, _)| Value::Int(p as i64)).collect(),
+            )),
+        }
+    }
+}
+
+fn decode_view(v: &Value) -> Vec<i64> {
+    v.as_tuple().unwrap().iter().map(|m| m.as_int().unwrap()).collect()
+}
+
+#[test]
+fn immediate_snapshot_properties_exhaustive() {
+    let n = 2usize;
+    let mut ex = Executor::new();
+    for p in 0..n {
+        ex.add_process(Box::new(IsProc(ImmediateSnapshot::new(
+            51,
+            0,
+            n as u32,
+            p as u32,
+            Value::Int(p as i64),
+        ))));
+    }
+    let check = move |ex: &Executor| -> Option<String> {
+        let views: Vec<(usize, Vec<i64>)> = ex
+            .pids()
+            .filter_map(|p| ex.status(p).decision().map(|v| (p.0, decode_view(v))))
+            .collect();
+        // self-inclusion
+        for (i, view) in &views {
+            if !view.contains(&(*i as i64)) {
+                return Some(format!("view of {i} misses itself: {view:?}"));
+            }
+        }
+        // containment
+        for (i, a) in &views {
+            for (j, b) in &views {
+                let a_in_b = a.iter().all(|p| b.contains(p));
+                let b_in_a = b.iter().all(|p| a.contains(p));
+                if !a_in_b && !b_in_a {
+                    return Some(format!("incomparable views {i}:{a:?} vs {j}:{b:?}"));
+                }
+            }
+        }
+        // immediacy
+        for (i, a) in &views {
+            for j in a {
+                if let Some((_, vj)) = views.iter().find(|(p, _)| *p == *j as usize) {
+                    if !vj.iter().all(|p| a.contains(p)) {
+                        return Some(format!("immediacy broken at {i}: {a:?} vs {j}: {vj:?}"));
+                    }
+                }
+            }
+        }
+        None
+    };
+    let report = explore_all(&ex, &check, Limits::default());
+    assert!(report.fully_verified(), "{report:?}");
+    assert!(report.states > 20);
+}
+
+/// Exhaustive termination of immediate snapshot: no interleaving of 2
+/// parties leaves anyone undecided (no cycles in the protocol graph).
+#[test]
+fn immediate_snapshot_terminates_exhaustively() {
+    let n = 2usize;
+    let mut ex = Executor::new();
+    for p in 0..n {
+        ex.add_process(Box::new(IsProc(ImmediateSnapshot::new(
+            52,
+            0,
+            n as u32,
+            p as u32,
+            Value::Int(p as i64),
+        ))));
+    }
+    let check = |_: &Executor| None;
+    let report = explore_all(&ex, &check, Limits::default());
+    assert!(report.undecided_cycle.is_none(), "livelock: {report:?}");
+    assert!(!report.truncated);
+}
