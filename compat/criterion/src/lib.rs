@@ -1,0 +1,331 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal API-compatible subset of `criterion` 0.5: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! Measurement protocol: per benchmark, a short warm-up estimates the
+//! per-iteration time, then `sample_size` samples are taken (each a batch of
+//! iterations sized to ~30 ms) and the per-iteration median/min/max are
+//! printed. Pass `--test` (as `cargo bench -- --test` does for smoke runs) to
+//! run every benchmark exactly once without timing. Positional CLI arguments
+//! filter benchmarks by substring, like upstream. If `CRITERION_JSON` is set,
+//! a JSON summary `{"results":[{"id","median_ns","samples"}]}` is written to
+//! that path on exit — the workspace uses this to record `BENCH_*.json`
+//! artifacts.
+
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// An opaque identifier for a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing context passed to the closure of a benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Outcome {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+    results: Vec<Outcome>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filters: Vec::new(),
+            test_mode: false,
+            default_sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--test`/`--quick` select smoke mode, other
+    /// flags are ignored, positional arguments become substring filters.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => self.test_mode = true,
+                s if s.starts_with('-') => {}
+                s => self.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let id = id.into().id;
+        let n = self.default_sample_size;
+        self.run_one(id, n, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{id}: test run ok");
+            return;
+        }
+        // Warm-up: double iteration counts until a batch takes >= 25 ms.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64;
+            if ns >= 25_000_000.0 || iters >= 1 << 24 {
+                break (ns / iters as f64).max(0.1);
+            }
+            iters *= 2;
+        };
+        // Sampling: batches of ~30 ms each.
+        let batch = ((30_000_000.0 / per_iter_ns).ceil() as u64).max(1);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let out = Outcome {
+            id: id.clone(),
+            median_ns: median,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+            samples: samples_ns.len(),
+        };
+        println!(
+            "{id}  time: [{} {} {}]  ({} samples × {batch} iters)",
+            fmt_ns(out.min_ns),
+            fmt_ns(out.median_ns),
+            fmt_ns(out.max_ns),
+            out.samples,
+        );
+        self.results.push(out);
+    }
+
+    /// Prints the run summary; writes a JSON report if `CRITERION_JSON` is
+    /// set. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut body = String::from("{\n  \"results\": [\n");
+            for (i, r) in self.results.iter().enumerate() {
+                body.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    r.id.replace('"', "'"),
+                    r.median_ns,
+                    r.min_ns,
+                    r.max_ns,
+                    r.samples,
+                    if i + 1 < self.results.len() { "," } else { "" },
+                ));
+            }
+            body.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            } else {
+                eprintln!("criterion shim: wrote {path}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let n = self.sample_size.unwrap_or(self.c.default_sample_size);
+        self.c.run_one(full, n, f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn groups_run_and_record() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.sample_size(10).bench_function("f", |b| b.iter(|| ran = true));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
+            b.iter(|| assert_eq!(*n, 4))
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_select_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["yes".into()],
+            ..Criterion::default()
+        };
+        let mut hit = false;
+        let mut miss = false;
+        c.bench_function("group/yes", |b| b.iter(|| hit = true));
+        c.bench_function("group/no", |b| b.iter(|| miss = true));
+        assert!(hit && !miss);
+    }
+}

@@ -119,7 +119,7 @@ impl BallotAgent {
     /// exceeds `higher`.
     pub fn round_above(parties: u32, me: u32, higher: i64) -> u32 {
         let mut r = 0u32;
-        while (r as i64) * parties as i64 + me as i64 + 1 <= higher {
+        while (r as i64) * parties as i64 + (me as i64) < higher {
             r += 1;
         }
         r

@@ -219,7 +219,7 @@ impl<C: SnapshotCode + Clone + std::hash::Hash + 'static> Process for BgSim<C> {
                 }
                 // Snapshot the board and propose the assembled view (one op).
                 let raw = ctx.snapshot(&self.board_keys());
-                let view = Value::Tuple(self.assemble_view(&raw));
+                let view = Value::tuple(self.assemble_view(&raw));
                 self.proposed[code] = Some(round);
                 self.activity = Activity::Propose {
                     code,

@@ -123,8 +123,8 @@ impl<P: Process> RegisterSimCode<P> {
 
     /// Encodes the current write set as this code's published state.
     fn encode_state(&self) -> Value {
-        Value::Tuple(
-            self.writes.iter().map(|(k, (ts, v))| encode_write(k, *ts, v)).collect(),
+        Value::tuple(
+            self.writes.iter().map(|(k, (ts, v))| encode_write(k, *ts, v)),
         )
     }
 }
@@ -182,9 +182,11 @@ impl<P: Process> SnapshotCode for RegisterSimCode<P> {
 ///
 /// Builders are configuration, not run state: they must be `Clone + Hash`
 /// (so the embedding automata stay fingerprintable) and deterministic.
-pub trait CodeBuilder {
+/// `Send + Sync` (on the builder and its codes) lets the embedding automata
+/// cross threads in the parallel model-check explorer.
+pub trait CodeBuilder: Send + Sync {
     /// The code type produced.
-    type Code: SnapshotCode + Clone + std::hash::Hash + std::fmt::Debug + 'static;
+    type Code: SnapshotCode + Clone + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static;
 
     /// Builds code `idx` with task input `input`.
     fn build(&self, idx: usize, input: &Value) -> Self::Code;
@@ -196,7 +198,7 @@ pub struct FnBuilder<C>(pub fn(usize, &Value) -> C);
 
 impl<C> CodeBuilder for FnBuilder<C>
 where
-    C: SnapshotCode + Clone + std::hash::Hash + std::fmt::Debug + 'static,
+    C: SnapshotCode + Clone + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static,
 {
     type Code = C;
 
@@ -299,8 +301,8 @@ mod tests {
     fn rebuild_memory_takes_max_timestamp() {
         let code: RegisterSimCode<RenamingFig4> = RegisterSimCode::new(2, RenamingFig4::new(2, 3));
         let key = RegKey::idx(5, 0, 0, 0, 0);
-        let s0 = Value::Tuple(vec![encode_write(&key, 1, &Value::Int(10))]);
-        let s1 = Value::Tuple(vec![encode_write(&key, 3, &Value::Int(30))]);
+        let s0 = Value::tuple([encode_write(&key, 1, &Value::Int(10))]);
+        let s1 = Value::tuple([encode_write(&key, 3, &Value::Int(30))]);
         let mut mem = code.rebuild_memory(&[s0, s1]);
         assert_eq!(mem.read(key), Value::Int(30));
     }

@@ -223,12 +223,15 @@ impl wfa_kernel::process::Process for Inert {
     }
 }
 
+/// An assembled EFD system: the C-process automata and the S-process
+/// automata, in that order.
+pub type CsProcs = (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>);
+
 /// A factory assembling a fresh EFD system for given inputs — wait-freedom
 /// ensembles re-instantiate the system for every adversary. For `⊥` input
 /// entries the factory must supply a non-participating automaton
 /// (e.g. [`Inert`]).
-pub type SystemFactory<'a> =
-    dyn Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) + 'a;
+pub type SystemFactory<'a> = dyn Fn(&[Value], FdGen) -> CsProcs + 'a;
 
 /// Configuration of a wait-freedom ensemble.
 #[derive(Clone, Debug)]
@@ -327,7 +330,7 @@ mod tests {
     fn ksa_factory(
         n: usize,
         k: u32,
-    ) -> impl Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) {
+    ) -> impl Fn(&[Value], FdGen) -> CsProcs {
         move |input: &[Value], _fd: FdGen| {
             let c: Vec<Box<dyn DynProcess>> = input
                 .iter()

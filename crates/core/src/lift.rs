@@ -37,7 +37,7 @@ use wfa_kernel::process::{DynProcess, Process, Status, StepCtx};
 use wfa_kernel::value::Value;
 
 use crate::code::{CodeBuilder, RegisterSimCode};
-use crate::harness::Inert;
+use crate::harness::{CsProcs, Inert};
 use crate::sim::{KcsSimC, KcsSimS};
 
 /// Builder for the simulated codes: member `i` of `U` runs the black box's
@@ -111,7 +111,7 @@ pub fn theorem7_system(
     n: usize,
     k: usize,
     inputs: &[Value],
-) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) {
+) -> CsProcs {
     assert!(k >= 1 && k < n, "need 1 ≤ k < n");
     assert_eq!(inputs.len(), n);
     let builder = BlackBoxCBuilder { k: k as u32 };

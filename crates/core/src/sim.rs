@@ -106,9 +106,9 @@ impl<B: CodeBuilder> Replica<B> {
         if let Some(env) = agreed.get(2) {
             states.push(env.clone()); // pseudo-state slot carrying env writes
         }
-        for i in 0..self.n_codes {
-            if self.inputs[i].is_unit() && !inputs[i].is_unit() {
-                self.inputs[i] = inputs[i].clone();
+        for (mine, seen) in self.inputs.iter_mut().zip(&inputs).take(self.n_codes) {
+            if mine.is_unit() && !seen.is_unit() {
+                *mine = seen.clone();
             }
         }
         if self.codes[code].is_none() {
@@ -259,17 +259,16 @@ impl<B: CodeBuilder> EngineCore<B> {
         }
         // Mirrored environment registers enter the view as pseudo-writes with
         // a dominant timestamp (real registers here are write-once boards).
-        let env = Value::Tuple(
+        let env = Value::tuple(
             self.env_keys
                 .iter()
                 .zip(&raw[board_len + self.n_sims..])
                 .filter(|(_, v)| !v.is_unit())
-                .map(|(k, v)| encode_write(k, u64::MAX / 2, v))
-                .collect(),
+                .map(|(k, v)| encode_write(k, u64::MAX / 2, v)),
         );
         Value::tuple([
-            Value::Tuple(best.into_iter().map(|(_, s)| s).collect()),
-            Value::Tuple(inputs),
+            Value::tuple(best.into_iter().map(|(_, s)| s)),
+            Value::tuple(inputs),
             env,
         ])
     }
@@ -290,7 +289,7 @@ impl<B: CodeBuilder> EngineCore<B> {
                     .copied()
                     .filter(|c| self.replica.decision(*c).is_none())
                     .collect();
-                if !owned.is_empty() && self.rotation % 2 == 0 {
+                if !owned.is_empty() && self.rotation.is_multiple_of(2) {
                     let code = owned[(self.rotation / 2) as usize % owned.len()];
                     let round = self.replica.rounds[code];
                     // Assemble a proposal (one snapshot op) and start ballots.

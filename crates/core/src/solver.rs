@@ -35,7 +35,7 @@ use wfa_kernel::value::Value;
 use wfa_tasks::task::Task;
 
 use crate::code::{CodeBuilder, RegisterSimCode};
-use crate::harness::Inert;
+use crate::harness::{CsProcs, Inert};
 use crate::sim::{KcsSimC, KcsSimS};
 
 /// Builder for Figure-4 renaming codes (`A` of Theorem 16).
@@ -102,7 +102,7 @@ pub fn theorem9_system<B>(
     k: usize,
     inputs: &[Value],
     builder: B,
-) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>)
+) -> CsProcs
 where
     B: CodeBuilder + Clone + Hash + 'static,
 {

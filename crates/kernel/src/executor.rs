@@ -16,6 +16,7 @@
 //! needs to explore interleavings.
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::memory::SharedMemory;
 use crate::process::{DynProcess, Status, StepCtx};
@@ -23,11 +24,40 @@ use crate::trace::{Trace, TraceEvent};
 use crate::value::{Pid, Value};
 
 /// One registered process and its run-local bookkeeping.
-#[derive(Clone, Debug)]
+///
+/// The automaton sits behind an [`Arc`] so that cloning an executor (which
+/// the model checker does at every branch point) is a reference-count bump
+/// per process; the automaton state is only deep-copied when a shared slot
+/// actually takes a step (copy-on-write).
+#[derive(Clone)]
 struct Slot {
-    proc: Box<dyn DynProcess>,
+    proc: Arc<dyn DynProcess>,
     status: Status,
     steps: u64,
+    /// Cached hash of (slot index, status, automaton state), maintained on
+    /// every effective step so run fingerprints are O(#processes-touched),
+    /// not a full rehash. Salted with the slot index so two slots in the same
+    /// local state don't cancel under XOR combination.
+    fp: u64,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("proc", &self.proc.label())
+            .field("status", &self.status)
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+/// Hash of one slot's observable state, salted with its index.
+fn slot_fp(index: usize, status: &Status, proc: &dyn DynProcess) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    index.hash(&mut h);
+    status.hash(&mut h);
+    proc.fingerprint(&mut h);
+    h.finish()
 }
 
 /// Holds the evolving state of a run and performs schedule steps.
@@ -57,6 +87,9 @@ struct Slot {
 pub struct Executor {
     mem: SharedMemory,
     slots: Vec<Slot>,
+    /// XOR of the cached per-slot fingerprints — the incremental "process
+    /// side" of [`Executor::fingerprint`].
+    procs_fp: u64,
     clock: u64,
     trace: Option<Trace>,
 }
@@ -69,8 +102,12 @@ impl Executor {
 
     /// Registers a process; its [`Pid`] is its registration index.
     pub fn add_process(&mut self, proc: Box<dyn DynProcess>) -> Pid {
-        self.slots.push(Slot { proc, status: Status::Running, steps: 0 });
-        Pid(self.slots.len() - 1)
+        let index = self.slots.len();
+        let status = Status::Running;
+        let fp = slot_fp(index, &status, &*proc);
+        self.procs_fp ^= fp;
+        self.slots.push(Slot { proc: Arc::from(proc), status, steps: 0, fp });
+        Pid(index)
     }
 
     /// Number of registered processes.
@@ -133,8 +170,17 @@ impl Executor {
         let slot = &mut self.slots[pid.0];
         if slot.status.is_running() {
             slot.steps += 1;
+            // Copy-on-write: materialize a private automaton only if the Arc
+            // is shared with a forked run.
+            if Arc::get_mut(&mut slot.proc).is_none() {
+                slot.proc = slot.proc.clone_arc();
+            }
+            let proc = Arc::get_mut(&mut slot.proc).expect("uniquely owned after copy-on-write");
             let mut ctx = StepCtx::new(&mut self.mem, fd, now, pid, 1);
-            slot.status = slot.proc.step(&mut ctx);
+            slot.status = proc.step(&mut ctx);
+            self.procs_fp ^= slot.fp;
+            slot.fp = slot_fp(pid.0, &slot.status, &*slot.proc);
+            self.procs_fp ^= slot.fp;
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent {
                     time: now,
@@ -183,13 +229,15 @@ impl Executor {
     /// The clock and step counters are excluded: two runs that reach the same
     /// configuration by different-length schedules are the same state for
     /// exploration purposes.
+    ///
+    /// O(1): both the memory and the process side keep incrementally
+    /// maintained content fingerprints (updated on each register write and
+    /// automaton step), so this only mixes two running hashes instead of
+    /// rehashing the full run state per visited node.
     pub fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.mem.fingerprint(&mut h);
-        for slot in &self.slots {
-            slot.status.hash(&mut h);
-            slot.proc.fingerprint(&mut h);
-        }
+        self.procs_fp.hash(&mut h);
         h.finish()
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod executor;
 pub mod memory;
+pub mod pmap;
 pub mod process;
 pub mod sched;
 pub mod trace;

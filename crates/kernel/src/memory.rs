@@ -9,9 +9,9 @@
 //! register returns `⊥` ([`Value::Unit`]), exactly as an initialized-to-`⊥`
 //! register would.
 
-use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
+use crate::pmap::PMap;
 use crate::value::Value;
 
 /// Address of a shared register.
@@ -59,6 +59,24 @@ impl RegKey {
     }
 }
 
+/// Hash of one (key, value) cell, used as the register's contribution to the
+/// memory fingerprint.
+fn cell_hash(key: &RegKey, val: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    val.hash(&mut h);
+    h.finish()
+}
+
+/// A register's value plus its cached [`cell_hash`], so overwriting a cell
+/// XORs the old contribution out of the memory fingerprint without rehashing
+/// the (possibly deep) old value.
+#[derive(Clone, Debug)]
+struct Cell {
+    val: Value,
+    hash: u64,
+}
+
 /// The shared register file of a run.
 ///
 /// All operations are sequentially consistent by construction: the executor
@@ -66,9 +84,22 @@ impl RegKey {
 /// one memory operation, so every run of the simulator is a legal
 /// interleaving of atomic register operations — the exact object the paper
 /// quantifies over.
+///
+/// Two properties make it the model checker's workhorse:
+///
+/// * **Copy-on-write forking.** The cells live in a persistent
+///   [`PMap`], so `Clone` is O(1) and a write after a fork copies only the
+///   O(log n) root-to-key spine — forked branches share everything else.
+/// * **Incremental fingerprinting.** The content fingerprint is the XOR of
+///   the per-cell hashes, maintained on every write; hashing the memory into
+///   a run fingerprint is O(1) instead of a full rehash of all cells.
 #[derive(Clone, Debug, Default)]
 pub struct SharedMemory {
-    cells: BTreeMap<RegKey, Value>,
+    cells: PMap<RegKey, Cell>,
+    /// XOR of [`cell_hash`] over all non-`⊥` cells. XOR makes the combination
+    /// order-independent (content-based) and incrementally updatable: a write
+    /// XORs out the old cell hash and XORs in the new one.
+    fp: u64,
     reads: u64,
     writes: u64,
 }
@@ -81,16 +112,25 @@ impl SharedMemory {
 
     /// Atomically reads register `key`.
     ///
-    /// Never-written registers read as [`Value::Unit`].
+    /// Never-written registers read as [`Value::Unit`]. The returned value is
+    /// cheap: tuples are `Arc`-backed, so this is a reference-count bump, not
+    /// a deep copy.
     pub fn read(&mut self, key: RegKey) -> Value {
         self.reads += 1;
-        self.cells.get(&key).cloned().unwrap_or(Value::Unit)
+        self.cells.get(&key).map(|c| c.val.clone()).unwrap_or(Value::Unit)
+    }
+
+    /// Borrowed lookup without bumping the operation counter: the hot path
+    /// for verifiers and harnesses. Returns `None` for never-written (`⊥`)
+    /// registers.
+    pub fn get(&self, key: RegKey) -> Option<&Value> {
+        self.cells.get(&key).map(|c| &c.val)
     }
 
     /// Reads without bumping the operation counter (for verifiers/harnesses,
     /// not for process steps).
     pub fn peek(&self, key: RegKey) -> Value {
-        self.cells.get(&key).cloned().unwrap_or(Value::Unit)
+        self.cells.get(&key).map(|c| c.val.clone()).unwrap_or(Value::Unit)
     }
 
     /// Atomically writes `val` into register `key`.
@@ -100,9 +140,15 @@ impl SharedMemory {
     pub fn write(&mut self, key: RegKey, val: Value) {
         self.writes += 1;
         if val.is_unit() {
-            self.cells.remove(&key);
+            if let Some(old) = self.cells.remove(&key) {
+                self.fp ^= old.hash;
+            }
         } else {
-            self.cells.insert(key, val);
+            let hash = cell_hash(&key, &val);
+            if let Some(old) = self.cells.insert(key, Cell { val, hash }) {
+                self.fp ^= old.hash;
+            }
+            self.fp ^= hash;
         }
     }
 
@@ -128,19 +174,22 @@ impl SharedMemory {
 
     /// Iterates over the non-`⊥` registers in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&RegKey, &Value)> {
-        self.cells.iter()
+        self.cells.iter().map(|(k, c)| (k, &c.val))
     }
 
     /// Hashes the memory contents (not the op counters) into `h`.
     ///
     /// Two memories with the same fingerprint input are observationally
-    /// identical to every process.
+    /// identical to every process. O(1): feeds the incrementally maintained
+    /// content fingerprint rather than rehashing every cell.
     pub fn fingerprint<H: Hasher>(&self, h: &mut H) {
         self.cells.len().hash(h);
-        for (k, v) in &self.cells {
-            k.hash(h);
-            v.hash(h);
-        }
+        self.fp.hash(h);
+    }
+
+    /// The raw incremental content fingerprint (XOR of per-cell hashes).
+    pub fn content_fingerprint(&self) -> u64 {
+        self.fp
     }
 }
 

@@ -1,0 +1,365 @@
+//! Persistent (copy-on-write) ordered map for the shared register file.
+//!
+//! The bounded model checker forks a run at every branch point, so the
+//! register file must clone in O(1) and mutate in O(log n) without touching
+//! the parent's copy. [`PMap`] is a path-copying weight-balanced binary
+//! search tree (Adams' bounded-balance trees, as in Haskell's `Data.Map`):
+//! nodes are `Arc`-shared between forks, a write rebuilds only the spine
+//! from the root to the touched key, and everything else is structurally
+//! shared. Iteration is in key order, so displays and canonical dumps stay
+//! deterministic.
+
+use std::sync::Arc;
+
+/// Weight-balance factors (Adams' Δ=3, ratio=2 — the `Data.Map` constants).
+const DELTA: usize = 3;
+const RATIO: usize = 2;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    k: K,
+    v: V,
+    size: usize,
+    l: Link<K, V>,
+    r: Link<K, V>,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+/// A persistent ordered map with O(1) clone and O(log n) copy-on-write
+/// updates.
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap { root: self.root.clone() }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap { root: None }
+    }
+}
+
+fn size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+fn mk<K, V>(k: K, v: V, l: Link<K, V>, r: Link<K, V>) -> Link<K, V> {
+    let size = 1 + size(&l) + size(&r);
+    Some(Arc::new(Node { k, v, size, l, r }))
+}
+
+/// Rebuilds a node whose children's sizes may differ by one insertion or
+/// removal, restoring the weight-balance invariant with at most two
+/// rotations.
+fn balance<K: Clone, V: Clone>(k: K, v: V, l: Link<K, V>, r: Link<K, V>) -> Link<K, V> {
+    let (ls, rs) = (size(&l), size(&r));
+    if ls + rs <= 1 {
+        return mk(k, v, l, r);
+    }
+    if rs > DELTA * ls {
+        let rn = r.as_ref().unwrap();
+        let (rl, rr) = (rn.l.clone(), rn.r.clone());
+        if size(&rl) < RATIO * size(&rr) {
+            // Single left rotation.
+            mk(rn.k.clone(), rn.v.clone(), mk(k, v, l, rl), rr)
+        } else {
+            // Double left rotation.
+            let rln = rl.as_ref().unwrap();
+            mk(
+                rln.k.clone(),
+                rln.v.clone(),
+                mk(k, v, l, rln.l.clone()),
+                mk(rn.k.clone(), rn.v.clone(), rln.r.clone(), rr),
+            )
+        }
+    } else if ls > DELTA * rs {
+        let ln = l.as_ref().unwrap();
+        let (ll, lr) = (ln.l.clone(), ln.r.clone());
+        if size(&lr) < RATIO * size(&ll) {
+            // Single right rotation.
+            mk(ln.k.clone(), ln.v.clone(), ll, mk(k, v, lr, r))
+        } else {
+            // Double right rotation.
+            let lrn = lr.as_ref().unwrap();
+            mk(
+                lrn.k.clone(),
+                lrn.v.clone(),
+                mk(ln.k.clone(), ln.v.clone(), ll, lrn.l.clone()),
+                mk(k, v, lrn.r.clone(), r),
+            )
+        }
+    } else {
+        mk(k, v, l, r)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        PMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// `true` iff the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Borrowed lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.k) {
+                std::cmp::Ordering::Less => cur = &n.l,
+                std::cmp::Ordering::Greater => cur = &n.r,
+                std::cmp::Ordering::Equal => return Some(&n.v),
+            }
+        }
+        None
+    }
+
+    /// Inserts `key → val`, returning the previous value if any. Only the
+    /// root-to-key spine is copied; subtrees stay shared with other clones.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let (root, old) = insert_at(&self.root, key, val);
+        self.root = root;
+        old
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (root, old) = remove_at(&self.root, key);
+        if old.is_some() {
+            self.root = root;
+        }
+        old
+    }
+
+    /// In-order (key-ascending) iteration.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(&self.root);
+        it
+    }
+}
+
+fn insert_at<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: K, val: V) -> (Link<K, V>, Option<V>) {
+    match link {
+        None => (mk(key, val, None, None), None),
+        Some(n) => match key.cmp(&n.k) {
+            std::cmp::Ordering::Equal => {
+                let old = n.v.clone();
+                (mk(key, val, n.l.clone(), n.r.clone()), Some(old))
+            }
+            std::cmp::Ordering::Less => {
+                let (nl, old) = insert_at(&n.l, key, val);
+                if old.is_some() {
+                    // Replacement: sizes unchanged, no rebalance needed.
+                    (mk(n.k.clone(), n.v.clone(), nl, n.r.clone()), old)
+                } else {
+                    (balance(n.k.clone(), n.v.clone(), nl, n.r.clone()), None)
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let (nr, old) = insert_at(&n.r, key, val);
+                if old.is_some() {
+                    (mk(n.k.clone(), n.v.clone(), n.l.clone(), nr), old)
+                } else {
+                    (balance(n.k.clone(), n.v.clone(), n.l.clone(), nr), None)
+                }
+            }
+        },
+    }
+}
+
+fn remove_at<K: Ord + Clone, V: Clone>(link: &Link<K, V>, key: &K) -> (Link<K, V>, Option<V>) {
+    match link {
+        None => (None, None),
+        Some(n) => match key.cmp(&n.k) {
+            std::cmp::Ordering::Less => {
+                let (nl, old) = remove_at(&n.l, key);
+                if old.is_none() {
+                    (link.clone(), None)
+                } else {
+                    (balance(n.k.clone(), n.v.clone(), nl, n.r.clone()), old)
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let (nr, old) = remove_at(&n.r, key);
+                if old.is_none() {
+                    (link.clone(), None)
+                } else {
+                    (balance(n.k.clone(), n.v.clone(), n.l.clone(), nr), old)
+                }
+            }
+            std::cmp::Ordering::Equal => (glue(&n.l, &n.r), Some(n.v.clone())),
+        },
+    }
+}
+
+fn glue<K: Ord + Clone, V: Clone>(l: &Link<K, V>, r: &Link<K, V>) -> Link<K, V> {
+    match (l, r) {
+        (None, _) => r.clone(),
+        (_, None) => l.clone(),
+        _ => {
+            let (k, v, nr) = remove_min(r);
+            balance(k, v, l.clone(), nr)
+        }
+    }
+}
+
+fn remove_min<K: Ord + Clone, V: Clone>(link: &Link<K, V>) -> (K, V, Link<K, V>) {
+    let n = link.as_ref().expect("remove_min on empty subtree");
+    match &n.l {
+        None => (n.k.clone(), n.v.clone(), n.r.clone()),
+        Some(_) => {
+            let (k, v, nl) = remove_min(&n.l);
+            (k, v, balance(n.k.clone(), n.v.clone(), nl, n.r.clone()))
+        }
+    }
+}
+
+/// In-order iterator over a [`PMap`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn push_left(&mut self, mut link: &'a Link<K, V>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.l;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.r);
+        Some((&n.k, &n.v))
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn check_balance<K, V>(link: &Link<K, V>) -> usize {
+        match link {
+            None => 0,
+            Some(n) => {
+                let (ls, rs) = (check_balance(&n.l), check_balance(&n.r));
+                assert_eq!(n.size, 1 + ls + rs, "size field corrupt");
+                if ls + rs > 1 {
+                    assert!(rs <= DELTA * ls && ls <= DELTA * rs, "unbalanced: {ls} vs {rs}");
+                }
+                n.size
+            }
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: PMap<u32, String> = PMap::new();
+        assert!(m.is_empty());
+        for i in 0..200u32 {
+            assert_eq!(m.insert(i * 7 % 200, format!("v{i}")), None);
+        }
+        check_balance(&m.root);
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.get(&7).map(String::as_str), Some("v1"));
+        assert_eq!(m.insert(7, "new".into()), Some("v1".into()));
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.remove(&7), Some("new".into()));
+        assert_eq!(m.remove(&7), None);
+        assert_eq!(m.len(), 199);
+        check_balance(&m.root);
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut m: PMap<u64, u64> = PMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..4000 {
+            let k = next() % 64;
+            let v = next();
+            if next() % 3 == 0 {
+                assert_eq!(m.remove(&k), model.remove(&k));
+            } else {
+                assert_eq!(m.insert(k, v), model.insert(k, v));
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        check_balance(&m.root);
+        let got: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want, "in-order iteration must match BTreeMap");
+    }
+
+    #[test]
+    fn clones_are_independent() {
+        let mut a: PMap<u32, u32> = PMap::new();
+        for i in 0..50 {
+            a.insert(i, i);
+        }
+        let mut b = a.clone();
+        b.insert(100, 100);
+        b.remove(&0);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.get(&0), Some(&0));
+        assert_eq!(a.get(&100), None);
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.get(&100), Some(&100));
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let mut a: PMap<u32, u32> = PMap::new();
+        for i in 0..1000 {
+            a.insert(i, i);
+        }
+        let b = a.clone();
+        // A single write to the clone must copy only the spine: the root Arc
+        // differs but almost all nodes stay shared.
+        let mut c = b.clone();
+        c.insert(500, 501);
+        fn count_nodes<K, V>(l: &Link<K, V>, acc: &mut Vec<*const Node<K, V>>) {
+            if let Some(n) = l {
+                acc.push(Arc::as_ptr(n));
+                count_nodes(&n.l, acc);
+                count_nodes(&n.r, acc);
+            }
+        }
+        let mut pa = Vec::new();
+        let mut pc = Vec::new();
+        count_nodes(&a.root, &mut pa);
+        count_nodes(&c.root, &mut pc);
+        let shared = pc.iter().filter(|p| pa.contains(p)).count();
+        assert!(shared >= pc.len() - 12, "path copying must share subtrees: {shared}/{}", pc.len());
+    }
+}

@@ -12,6 +12,7 @@
 //! blanket impl, including state fingerprinting for the model checker.
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::memory::{RegKey, SharedMemory};
 use crate::trace::OpKind;
@@ -182,22 +183,28 @@ pub trait Process {
 
 /// Object-safe process handle stored by the executor.
 ///
-/// Provided for every `Process + Clone + Hash + 'static` by a blanket impl;
-/// do not implement it directly.
-pub trait DynProcess {
+/// Provided for every `Process + Clone + Hash + Send + Sync + 'static` by a
+/// blanket impl; do not implement it directly. The `Send + Sync` bound is
+/// what lets the parallel model-check explorer move forked runs between
+/// worker threads.
+pub trait DynProcess: Send + Sync {
     /// See [`Process::step`].
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status;
     /// See [`Process::label`].
     fn label(&self) -> String;
     /// Clones the automaton behind the trait object.
     fn clone_box(&self) -> Box<dyn DynProcess>;
+    /// Clones directly into an [`Arc`] (one allocation, unlike
+    /// `Arc::from(clone_box())` which allocates a `Box` and then moves it) —
+    /// the executor's copy-on-write hot path.
+    fn clone_arc(&self) -> Arc<dyn DynProcess>;
     /// Hashes the automaton state (for run fingerprints).
     fn fingerprint(&self, h: &mut dyn Hasher);
 }
 
 impl<T> DynProcess for T
 where
-    T: Process + Clone + Hash + 'static,
+    T: Process + Clone + Hash + Send + Sync + 'static,
 {
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
         Process::step(self, ctx)
@@ -209,6 +216,10 @@ where
 
     fn clone_box(&self) -> Box<dyn DynProcess> {
         Box::new(self.clone())
+    }
+
+    fn clone_arc(&self) -> Arc<dyn DynProcess> {
+        Arc::new(self.clone())
     }
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {

@@ -10,6 +10,7 @@
 //! non-participating input, undecided output).
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a process (C-process or S-process) in a run.
 ///
@@ -56,23 +57,27 @@ pub enum Value {
     /// A process identity.
     Pid(Pid),
     /// A record or sequence of values.
-    Tuple(Vec<Value>),
+    ///
+    /// The fields sit behind an [`Arc`] so cloning a `Value` — which the
+    /// model checker does for every register write on every explored branch
+    /// — is a reference-count bump, not a deep copy.
+    Tuple(Arc<Vec<Value>>),
 }
 
 impl Value {
     /// Builds a tuple value from an iterator of fields.
     pub fn tuple<I: IntoIterator<Item = Value>>(fields: I) -> Value {
-        Value::Tuple(fields.into_iter().collect())
+        Value::Tuple(Arc::new(fields.into_iter().collect()))
     }
 
     /// Builds a tuple of [`Value::Pid`]s from process ids.
     pub fn pid_set<I: IntoIterator<Item = Pid>>(pids: I) -> Value {
-        Value::Tuple(pids.into_iter().map(Value::Pid).collect())
+        Value::tuple(pids.into_iter().map(Value::Pid))
     }
 
     /// Builds a tuple of [`Value::Int`]s.
     pub fn ints<I: IntoIterator<Item = i64>>(xs: I) -> Value {
-        Value::Tuple(xs.into_iter().map(Value::Int).collect())
+        Value::tuple(xs.into_iter().map(Value::Int))
     }
 
     /// `true` iff this is `⊥`.
@@ -107,7 +112,7 @@ impl Value {
     /// The fields, if this is a `Tuple`.
     pub fn as_tuple(&self) -> Option<&[Value]> {
         match self {
-            Value::Tuple(t) => Some(t),
+            Value::Tuple(t) => Some(&t[..]),
             _ => None,
         }
     }

@@ -1,10 +1,11 @@
-//! Bounded exhaustive interleaving exploration.
+//! Bounded exhaustive interleaving exploration — parallel and deterministic.
 //!
 //! The paper's impossibility results (Lemma 11, Theorem 12) are statements
 //! about *all* schedules of *all* algorithms. For a concrete algorithm and a
 //! small process count, the schedule space of the deterministic simulator is
-//! a finite directed graph over run fingerprints: [`Explorer`] walks it
-//! depth-first, memoizing visited states, and reports
+//! a finite directed graph over run fingerprints: [`Explorer`] sweeps it with
+//! a pool of work-stealing worker threads sharing a lock-striped visited set,
+//! and reports
 //!
 //! * **safety violations** — a user predicate over reached states (e.g. "the
 //!   decided outputs violate Δ"),
@@ -12,21 +13,75 @@
 //!   scheduled process is still undecided (the schedule can be pumped
 //!   forever: the FLP-style "forever bivalent" adversary made concrete).
 //!
+//! # Semantics
+//!
+//! The sweep visits every state reachable through non-terminal states, where
+//! a state is *terminal* iff it violates the safety predicate, every watched
+//! process has stopped, or it sits at the depth limit. Terminality is a
+//! property of the state alone, so the visited set — and therefore
+//! [`ExploreReport::states`] — is independent of exploration order and of
+//! the thread count. Violation and cycle *witness schedules* are produced by
+//! cheap sequential index-order DFS passes that run only when the parallel
+//! sweep has established existence, so the full report is reproducible
+//! bit-for-bit across thread counts (see the determinism suite). Reports of
+//! truncated explorations are best-effort: once a limit cuts the sweep short,
+//! which states were reached first is scheduling-dependent.
+//!
+//! # Cycle detection under parallelism
+//!
+//! The classic "fingerprint already on my DFS path" back-edge test is only
+//! sound for a *single* depth-first traversal: a cycle split between two
+//! workers through the shared visited set would go undetected. Instead, the
+//! sweep records the edges between live (not-all-done) states and the
+//! post-pass trims nodes of out-degree zero until a fixpoint; a nonempty
+//! remainder proves a cycle. Because deciding is absorbing, statuses are
+//! constant along any cycle and all-done states have no out-edges, so every
+//! cycle in the recorded graph is a live (pumpable, undecided) cycle.
+//!
 //! Fingerprints hash the full run state (memory + automata); collisions are
 //! possible in principle but astronomically unlikely at the explored sizes,
 //! and a collision could only cause *under*-reporting of violations, never a
 //! false alarm.
 
-use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use wfa_kernel::executor::Executor;
 use wfa_kernel::value::Pid;
 
+/// Pass-through hasher for keys that are already fingerprints: run
+/// fingerprints come out of a hash function, so feeding them through SipHash
+/// again (the `HashMap` default) would only burn cycles on the explorer's
+/// hottest path, the visited-set probe.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("FpHasher only hashes u64 fingerprints");
+    }
+
+    fn write_u64(&mut self, fp: u64) {
+        self.0 = fp;
+    }
+}
+
+type FpSet = std::collections::HashSet<u64, BuildHasherDefault<FpHasher>>;
+type FpMap<V> = std::collections::HashMap<u64, V, BuildHasherDefault<FpHasher>>;
+
 /// A state predicate: returns a violation description, or `None`.
-pub type SafetyCheck<'a> = dyn Fn(&Executor) -> Option<String> + 'a;
+///
+/// `Sync` so the parallel sweep can evaluate it from worker threads.
+pub type SafetyCheck<'a> = dyn Fn(&Executor) -> Option<String> + Sync + 'a;
 
 /// What the exploration found.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExploreReport {
     /// Distinct states visited.
     pub states: u64,
@@ -66,7 +121,9 @@ impl Default for Limits {
 /// state. Used to explore *constrained* interleaving families — e.g. all
 /// k-concurrent schedules (§2.2): a process may step only if it already
 /// participates or fewer than k participants are undecided.
-pub type EnabledFilter<'a> = dyn Fn(&Executor, Pid) -> bool + 'a;
+///
+/// `Sync` so the parallel sweep can evaluate it from worker threads.
+pub type EnabledFilter<'a> = dyn Fn(&Executor, Pid) -> bool + Sync + 'a;
 
 /// The k-concurrency filter of §2.2 over the given C-processes.
 pub fn k_concurrent_filter(watched: Vec<Pid>, k: usize) -> impl Fn(&Executor, Pid) -> bool {
@@ -85,32 +142,22 @@ pub fn k_concurrent_filter(watched: Vec<Pid>, k: usize) -> impl Fn(&Executor, Pi
     }
 }
 
-/// Exhaustive DFS over the interleavings of `pids` from the state of `ex`.
+/// Exhaustive exploration of the interleavings of `pids` from the state of
+/// `ex`, parallelized over a work-stealing thread pool.
 pub struct Explorer<'a> {
     pids: Vec<Pid>,
     check: &'a SafetyCheck<'a>,
     limits: Limits,
     enabled: Option<&'a EnabledFilter<'a>>,
-    seen: HashSet<u64>,
-    report: ExploreReport,
-    /// Fingerprints on the current DFS path (for cycle detection).
-    path: Vec<u64>,
-    schedule: Vec<Pid>,
+    threads: usize,
 }
 
 impl<'a> Explorer<'a> {
     /// Explores interleavings of `pids`, checking `check` at every state.
+    ///
+    /// Uses all available cores by default; see [`Explorer::threads`].
     pub fn new(pids: Vec<Pid>, check: &'a SafetyCheck<'a>, limits: Limits) -> Explorer<'a> {
-        Explorer {
-            pids,
-            check,
-            limits,
-            enabled: None,
-            seen: HashSet::new(),
-            report: ExploreReport::default(),
-            path: Vec::new(),
-            schedule: Vec::new(),
-        }
+        Explorer { pids, check, limits, enabled: None, threads: 0 }
     }
 
     /// Restricts exploration to schedules allowed by `filter` (e.g.
@@ -120,76 +167,384 @@ impl<'a> Explorer<'a> {
         self
     }
 
+    /// Sets the worker-thread count. `0` (the default) means one worker per
+    /// available core. The report is identical for every thread count.
+    pub fn threads(mut self, n: usize) -> Explorer<'a> {
+        self.threads = n;
+        self
+    }
+
     /// Runs the exploration from `initial` and returns the report.
     ///
-    /// Stops at the first safety violation (the schedule reaching it is in
-    /// the report); an undecided cycle is recorded but exploration continues
-    /// looking for violations.
-    pub fn run(mut self, initial: &Executor) -> ExploreReport {
-        self.dfs(initial);
-        self.report
+    /// The parallel sweep establishes the state count and *whether* a
+    /// violation or an undecided cycle exists; witness schedules are then
+    /// reconstructed by sequential index-order searches that stop at their
+    /// first hit, so the same report is produced for every thread count.
+    pub fn run(self, initial: &Executor) -> ExploreReport {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        let sweep = self.sweep(initial, threads);
+        let mut report = ExploreReport {
+            states: sweep.states,
+            truncated: sweep.truncated,
+            violation: None,
+            undecided_cycle: None,
+        };
+        if let Some(reason) = sweep.violation {
+            report.violation = Some(
+                self.seek(initial, Seek::Violation)
+                    .found_violation
+                    // Truncated sweeps can observe a violation the bounded
+                    // witness search no longer reaches; fall back to the
+                    // sweep's reason without a schedule.
+                    .unwrap_or((reason, Vec::new())),
+            );
+        }
+        if sweep.cycle_exists {
+            report.undecided_cycle = self.seek(initial, Seek::Cycle).found_cycle;
+        }
+        report
     }
 
     fn all_done(&self, ex: &Executor) -> bool {
         self.pids.iter().all(|p| !ex.status(*p).is_running())
     }
 
-    fn dfs(&mut self, ex: &Executor) {
-        if self.report.violation.is_some() {
-            return;
-        }
-        if let Some(reason) = (self.check)(ex) {
-            self.report.violation = Some((reason, self.schedule.clone()));
-            return;
-        }
-        let fp = ex.fingerprint();
-        if self.path.contains(&fp) {
-            // A cycle on the current path: pumpable schedule. Interesting
-            // only if somebody is still undecided.
-            if !self.all_done(ex) && self.report.undecided_cycle.is_none() {
-                self.report.undecided_cycle = Some(self.schedule.clone());
-            }
-            return;
-        }
-        if !self.seen.insert(fp) {
-            return; // visited via another schedule
-        }
-        self.report.states += 1;
-        if self.report.states >= self.limits.max_states
-            || self.schedule.len() >= self.limits.max_depth
-        {
-            self.report.truncated = true;
-            return;
-        }
-        if self.all_done(ex) {
-            return;
-        }
-        self.path.push(fp);
-        for pid in self.pids.clone() {
-            if !ex.status(pid).is_running() {
-                continue;
-            }
-            if let Some(f) = self.enabled {
-                if !f(ex, pid) {
-                    continue;
+    fn enabled(&self, ex: &Executor, pid: Pid) -> bool {
+        ex.status(pid).is_running() && self.enabled.is_none_or(|f| f(ex, pid))
+    }
+
+    // ---- phase 1: parallel work-stealing sweep ----------------------------
+
+    fn sweep(&self, initial: &Executor, threads: usize) -> SweepOutcome {
+        let shared = Shared {
+            explorer: self,
+            shards: (0..VISITED_SHARDS).map(|_| Mutex::new(FpSet::default())).collect(),
+            states: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+            violation: Mutex::new(None),
+            frontier: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            pending: AtomicUsize::new(0),
+        };
+        let root_fp = initial.fingerprint();
+        shared.insert(root_fp);
+        shared.states.store(1, Ordering::Relaxed);
+        shared.pending.store(1, Ordering::Release);
+        shared
+            .frontier
+            .lock()
+            .unwrap()
+            .push_back(Job { ex: initial.clone(), fp: root_fp, depth: 0 });
+
+        let mut edge_sets: Vec<Vec<(u64, u64)>> = Vec::new();
+        if threads <= 1 {
+            edge_sets.push(worker(&shared));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..threads).map(|_| scope.spawn(|| worker(&shared))).collect();
+                for h in handles {
+                    edge_sets.push(h.join().expect("explorer worker panicked"));
                 }
-            }
-            let mut child = ex.clone();
-            child.step(pid, None);
-            self.schedule.push(pid);
-            self.dfs(&child);
-            self.schedule.pop();
-            if self.report.violation.is_some() {
-                break;
-            }
+            });
         }
-        self.path.pop();
+
+        let edges: Vec<(u64, u64)> = edge_sets.into_iter().flatten().collect();
+        SweepOutcome {
+            states: shared.states.load(Ordering::Relaxed).min(self.limits.max_states),
+            truncated: shared.truncated.load(Ordering::Relaxed),
+            violation: shared.violation.into_inner().unwrap(),
+            cycle_exists: has_cycle(&edges),
+        }
+    }
+
+    // ---- phase 2: sequential witness searches -----------------------------
+
+    /// Depth-first index-order search for the first witness of `goal`,
+    /// mirroring the sweep's terminality rules. Only invoked after the sweep
+    /// proved the witness exists, so it stops early in practice.
+    fn seek(&self, initial: &Executor, goal: Seek) -> Seeker<'_, 'a> {
+        let mut s = Seeker {
+            explorer: self,
+            goal,
+            seen: FpSet::default(),
+            path: Vec::new(),
+            schedule: Vec::new(),
+            visited: 0,
+            found_violation: None,
+            found_cycle: None,
+        };
+        s.dfs(initial);
+        s
     }
 }
 
 /// Convenience: explore all interleavings of every process of `ex`.
 pub fn explore_all(ex: &Executor, check: &SafetyCheck<'_>, limits: Limits) -> ExploreReport {
     Explorer::new(ex.pids().collect(), check, limits).run(ex)
+}
+
+/// Stripe count of the shared visited set. A power of two well above any
+/// realistic worker count, so stripe contention is negligible.
+const VISITED_SHARDS: usize = 64;
+
+/// When a worker's private stack grows past this and the global frontier has
+/// run dry, the worker donates its oldest (shallowest) half for stealing.
+const DONATE_THRESHOLD: usize = 4;
+
+struct Job {
+    ex: Executor,
+    fp: u64,
+    depth: usize,
+}
+
+struct SweepOutcome {
+    states: u64,
+    truncated: bool,
+    violation: Option<String>,
+    cycle_exists: bool,
+}
+
+/// State shared by the sweep workers.
+struct Shared<'e, 'a> {
+    explorer: &'e Explorer<'a>,
+    /// Lock-striped visited set, keyed by fingerprint.
+    shards: Vec<Mutex<FpSet>>,
+    states: AtomicU64,
+    truncated: AtomicBool,
+    /// Some violation reason observed during the sweep (used only as a
+    /// fallback when the witness search is cut off by limits).
+    violation: Mutex<Option<String>>,
+    /// Global frontier that idle workers steal from (FIFO: shallow states
+    /// first, which fan out fastest).
+    frontier: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    /// Number of enqueued-but-unfinished jobs; 0 terminates the sweep.
+    pending: AtomicUsize,
+}
+
+impl Shared<'_, '_> {
+    /// Inserts into the striped visited set; `true` iff `fp` is new.
+    fn insert(&self, fp: u64) -> bool {
+        self.shards[(fp as usize) % VISITED_SHARDS].lock().unwrap().insert(fp)
+    }
+}
+
+/// Worker loop: drain the private stack, steal from the global frontier when
+/// empty, exit when no job is pending anywhere. Returns the live edges this
+/// worker observed (merged by the caller for cycle analysis).
+fn worker(shared: &Shared<'_, '_>) -> Vec<(u64, u64)> {
+    let mut local: Vec<Job> = Vec::new();
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut scratch: Vec<Pid> = Vec::new();
+    loop {
+        let job = match local.pop() {
+            Some(job) => job,
+            None => match steal(shared) {
+                Some(job) => job,
+                None => break,
+            },
+        };
+        expand(shared, job, &mut local, &mut edges, &mut scratch);
+        if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.work.notify_all();
+        }
+        donate(shared, &mut local);
+    }
+    edges
+}
+
+fn steal(shared: &Shared<'_, '_>) -> Option<Job> {
+    let mut frontier = shared.frontier.lock().unwrap();
+    loop {
+        if let Some(job) = frontier.pop_front() {
+            return Some(job);
+        }
+        if shared.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        frontier = shared.work.wait(frontier).unwrap();
+    }
+}
+
+/// Moves the oldest half of an oversized private stack to the global
+/// frontier if it has run dry, waking idle workers.
+fn donate(shared: &Shared<'_, '_>, local: &mut Vec<Job>) {
+    if local.len() < DONATE_THRESHOLD {
+        return;
+    }
+    if let Ok(mut frontier) = shared.frontier.try_lock() {
+        if frontier.is_empty() {
+            frontier.extend(local.drain(..local.len() / 2));
+            drop(frontier);
+            shared.work.notify_all();
+        }
+    }
+}
+
+/// Expands one state: terminality checks, then one child per enabled process
+/// (in index order), deduplicated through the striped visited set.
+fn expand(
+    shared: &Shared<'_, '_>,
+    job: Job,
+    local: &mut Vec<Job>,
+    edges: &mut Vec<(u64, u64)>,
+    scratch: &mut Vec<Pid>,
+) {
+    let explorer = shared.explorer;
+    let Job { ex, fp, depth } = job;
+    if let Some(reason) = (explorer.check)(&ex) {
+        let mut v = shared.violation.lock().unwrap();
+        if v.is_none() {
+            *v = Some(reason);
+        }
+        return; // violating states are terminal
+    }
+    if explorer.all_done(&ex) {
+        return;
+    }
+    if depth >= explorer.limits.max_depth {
+        shared.truncated.store(true, Ordering::Relaxed);
+        return;
+    }
+    scratch.clear();
+    scratch.extend(explorer.pids.iter().copied().filter(|&p| explorer.enabled(&ex, p)));
+    // The last child takes ownership of the parent instead of cloning it.
+    let mut parent = Some(ex);
+    let last = scratch.len().saturating_sub(1);
+    for (i, &pid) in scratch.iter().enumerate() {
+        let mut child = if i == last {
+            parent.take().expect("parent consumed only by the last child")
+        } else {
+            parent.as_ref().expect("parent alive until the last child").clone()
+        };
+        child.step(pid, None);
+        let child_fp = child.fingerprint();
+        if !explorer.all_done(&child) {
+            edges.push((fp, child_fp));
+        }
+        if shared.insert(child_fp) {
+            let counted = shared.states.fetch_add(1, Ordering::Relaxed) + 1;
+            if counted >= explorer.limits.max_states {
+                shared.truncated.store(true, Ordering::Relaxed);
+                continue; // counted, but the state cap stops expansion
+            }
+            shared.pending.fetch_add(1, Ordering::AcqRel);
+            local.push(Job { ex: child, fp: child_fp, depth: depth + 1 });
+        }
+    }
+}
+
+/// `true` iff the recorded live-edge graph contains a cycle: trim nodes of
+/// out-degree zero to a fixpoint; any remainder is (or feeds) a cycle.
+fn has_cycle(edges: &[(u64, u64)]) -> bool {
+    if edges.is_empty() {
+        return false;
+    }
+    let mut out_degree = FpMap::<usize>::default();
+    let mut parents = FpMap::<Vec<u64>>::default();
+    out_degree.reserve(edges.len());
+    parents.reserve(edges.len());
+    for &(u, v) in edges {
+        *out_degree.entry(u).or_insert(0) += 1;
+        out_degree.entry(v).or_insert(0);
+        parents.entry(v).or_default().push(u);
+    }
+    let mut trimmed: Vec<u64> =
+        out_degree.iter().filter(|(_, d)| **d == 0).map(|(n, _)| *n).collect();
+    let mut remaining = out_degree.len();
+    while let Some(v) = trimmed.pop() {
+        remaining -= 1;
+        if let Some(ps) = parents.get(&v) {
+            for &p in ps {
+                let d = out_degree.get_mut(&p).expect("edge source has an out-degree entry");
+                *d -= 1;
+                if *d == 0 {
+                    trimmed.push(p);
+                }
+            }
+        }
+    }
+    remaining > 0
+}
+
+/// Which witness the sequential post-pass is after.
+#[derive(Clone, Copy, PartialEq)]
+enum Seek {
+    Violation,
+    Cycle,
+}
+
+/// Sequential index-order DFS that reconstructs a deterministic witness
+/// schedule (phase 2). Uses the classic on-path back-edge test for cycles —
+/// sound here because this traversal is single-threaded.
+struct Seeker<'e, 'a> {
+    explorer: &'e Explorer<'a>,
+    goal: Seek,
+    seen: FpSet,
+    path: Vec<u64>,
+    schedule: Vec<Pid>,
+    visited: u64,
+    found_violation: Option<(String, Vec<Pid>)>,
+    found_cycle: Option<Vec<Pid>>,
+}
+
+impl Seeker<'_, '_> {
+    fn done(&self) -> bool {
+        match self.goal {
+            Seek::Violation => self.found_violation.is_some(),
+            Seek::Cycle => self.found_cycle.is_some(),
+        }
+    }
+
+    fn dfs(&mut self, ex: &Executor) {
+        if self.done() {
+            return;
+        }
+        let explorer = self.explorer;
+        if let Some(reason) = (explorer.check)(ex) {
+            if self.goal == Seek::Violation {
+                self.found_violation = Some((reason, self.schedule.clone()));
+            }
+            return; // violating states are terminal, as in the sweep
+        }
+        let fp = ex.fingerprint();
+        if self.goal == Seek::Cycle && self.path.contains(&fp) {
+            if !explorer.all_done(ex) {
+                self.found_cycle = Some(self.schedule.clone());
+            }
+            return;
+        }
+        if !self.seen.insert(fp) {
+            return; // visited via another schedule
+        }
+        self.visited += 1;
+        if self.visited >= explorer.limits.max_states
+            || self.schedule.len() >= explorer.limits.max_depth
+            || explorer.all_done(ex)
+        {
+            return;
+        }
+        self.path.push(fp);
+        for i in 0..explorer.pids.len() {
+            let pid = explorer.pids[i];
+            if !explorer.enabled(ex, pid) {
+                continue;
+            }
+            let mut child = ex.clone();
+            child.step(pid, None);
+            self.schedule.push(pid);
+            self.dfs(&child);
+            self.schedule.pop();
+            if self.done() {
+                break;
+            }
+        }
+        self.path.pop();
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +646,7 @@ mod tests {
         let check = |_: &Executor| None;
         let report = explore_all(&ex, &check, Limits { max_states: 50, max_depth: 10_000 });
         assert!(report.truncated);
+        assert!(report.states <= 50);
     }
 
     #[test]
@@ -311,5 +667,50 @@ mod tests {
             replay.step(*pid, None);
         }
         assert!(check(&replay).is_some(), "schedule replay did not reproduce the violation");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let ex = two_counters(2);
+        let check = |ex: &Executor| {
+            let both_done = ex.pids().all(|p| !ex.status(p).is_running());
+            let lost = ex
+                .pids()
+                .filter_map(|p| ex.status(p).decision())
+                .all(|v| *v == Value::Int(1));
+            (both_done && lost).then(|| "lost update".to_string())
+        };
+        let base = Explorer::new(ex.pids().collect(), &check, Limits::default())
+            .threads(1)
+            .run(&ex);
+        for threads in [2, 4, 8] {
+            let r = Explorer::new(ex.pids().collect(), &check, Limits::default())
+                .threads(threads)
+                .run(&ex);
+            assert_eq!(r.states, base.states, "threads={threads}");
+            assert_eq!(r.violation, base.violation, "threads={threads}");
+            assert_eq!(r.undecided_cycle, base.undecided_cycle, "threads={threads}");
+            assert_eq!(r.truncated, base.truncated, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cycle_analysis_has_no_false_positive_on_dags() {
+        // two_counters terminates on every schedule: the state graph is a
+        // DAG, so no undecided cycle may be reported.
+        let ex = two_counters(2);
+        let check = |_: &Executor| None;
+        let report = explore_all(&ex, &check, Limits::default());
+        assert!(report.undecided_cycle.is_none(), "{report:?}");
+    }
+
+    #[test]
+    fn trimming_finds_cycles() {
+        assert!(!has_cycle(&[]));
+        assert!(!has_cycle(&[(1, 2), (2, 3), (1, 3)]));
+        assert!(has_cycle(&[(1, 2), (2, 1)]));
+        assert!(has_cycle(&[(1, 1)]));
+        // Cycle with a tail feeding it and a branch leaving it.
+        assert!(has_cycle(&[(0, 1), (1, 2), (2, 3), (3, 1), (2, 9)]));
     }
 }

@@ -100,61 +100,59 @@ impl Driver for AdoptCommit {
     type Output = AcOutcome;
 
     fn poll(&mut self, ctx: &mut StepCtx<'_>) -> Step<AcOutcome> {
-        loop {
-            match &mut self.pc {
-                Pc::WriteA => {
-                    ctx.write(self.a_key(self.me), self.input.clone());
-                    self.pc = Pc::CollectA(Collect::new(self.a_keys()));
-                    return Step::Pending;
-                }
-                Pc::CollectA(c) => {
-                    let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
-                    let non_bot: Vec<&Value> = seen.iter().filter(|v| !v.is_unit()).collect();
-                    // The phase-1 check: did we see only our own proposal value?
-                    let all_mine = non_bot.iter().all(|v| **v == self.input);
-                    let (flag, val) = if all_mine {
-                        (true, self.input.clone())
-                    } else {
-                        // Deterministic adopt choice: the minimum seen value.
-                        (false, (*non_bot.iter().min().expect("own value present")).clone())
-                    };
-                    self.pc = Pc::WriteB { flag, val };
-                    // fall through: the collect's last poll used this step's op
-                    return Step::Pending;
-                }
-                Pc::WriteB { flag, val } => {
-                    let rec = Value::tuple([Value::Bool(*flag), val.clone()]);
-                    ctx.write(self.b_key(self.me), rec);
-                    self.pc = Pc::CollectB(Collect::new(self.b_keys()));
-                    return Step::Pending;
-                }
-                Pc::CollectB(c) => {
-                    let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
-                    let recs: Vec<(bool, Value)> = seen
-                        .iter()
-                        .filter(|v| !v.is_unit())
-                        .map(|v| {
-                            (
-                                v.get(0).and_then(Value::as_bool).expect("B record flag"),
-                                v.get(1).expect("B record value").clone(),
-                            )
-                        })
-                        .collect();
-                    debug_assert!(!recs.is_empty(), "own B record must be visible");
-                    let committed: Vec<&Value> =
-                        recs.iter().filter(|(f, _)| *f).map(|(_, v)| v).collect();
-                    let outcome = if committed.len() == recs.len() {
-                        AcOutcome::Commit(committed[0].clone())
-                    } else if let Some(v) = committed.first() {
-                        AcOutcome::Adopt((*v).clone())
-                    } else {
-                        AcOutcome::Adopt(recs[0].1.clone())
-                    };
-                    self.pc = Pc::Done;
-                    return Step::Done(outcome);
-                }
-                Pc::Done => panic!("adopt-commit polled after completion"),
+        match &mut self.pc {
+            Pc::WriteA => {
+                ctx.write(self.a_key(self.me), self.input.clone());
+                self.pc = Pc::CollectA(Collect::new(self.a_keys()));
+                Step::Pending
             }
+            Pc::CollectA(c) => {
+                let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
+                let non_bot: Vec<&Value> = seen.iter().filter(|v| !v.is_unit()).collect();
+                // The phase-1 check: did we see only our own proposal value?
+                let all_mine = non_bot.iter().all(|v| **v == self.input);
+                let (flag, val) = if all_mine {
+                    (true, self.input.clone())
+                } else {
+                    // Deterministic adopt choice: the minimum seen value.
+                    (false, (*non_bot.iter().min().expect("own value present")).clone())
+                };
+                self.pc = Pc::WriteB { flag, val };
+                // fall through: the collect's last poll used this step's op
+                Step::Pending
+            }
+            Pc::WriteB { flag, val } => {
+                let rec = Value::tuple([Value::Bool(*flag), val.clone()]);
+                ctx.write(self.b_key(self.me), rec);
+                self.pc = Pc::CollectB(Collect::new(self.b_keys()));
+                Step::Pending
+            }
+            Pc::CollectB(c) => {
+                let Step::Done(seen) = c.poll(ctx) else { return Step::Pending };
+                let recs: Vec<(bool, Value)> = seen
+                    .iter()
+                    .filter(|v| !v.is_unit())
+                    .map(|v| {
+                        (
+                            v.get(0).and_then(Value::as_bool).expect("B record flag"),
+                            v.get(1).expect("B record value").clone(),
+                        )
+                    })
+                    .collect();
+                debug_assert!(!recs.is_empty(), "own B record must be visible");
+                let committed: Vec<&Value> =
+                    recs.iter().filter(|(f, _)| *f).map(|(_, v)| v).collect();
+                let outcome = if committed.len() == recs.len() {
+                    AcOutcome::Commit(committed[0].clone())
+                } else if let Some(v) = committed.first() {
+                    AcOutcome::Adopt((*v).clone())
+                } else {
+                    AcOutcome::Adopt(recs[0].1.clone())
+                };
+                self.pc = Pc::Done;
+                Step::Done(outcome)
+            }
+            Pc::Done => panic!("adopt-commit polled after completion"),
         }
     }
 }

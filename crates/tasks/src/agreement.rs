@@ -99,8 +99,8 @@ impl Task for SetAgreement {
 
     fn validate(&self, input: &[Value], output: &[Value]) -> Result<(), TaskViolation> {
         check_basics(self.m, input, output)?;
-        for i in 0..self.m {
-            if !input[i].is_unit() && !self.may_participate(i) {
+        for (i, v) in input.iter().enumerate().take(self.m) {
+            if !v.is_unit() && !self.may_participate(i) {
                 return Err(TaskViolation::new(format!("process {i} not in U participated")));
             }
         }

@@ -41,7 +41,10 @@ impl Error for TaskViolation {}
 ///
 /// Implementations must satisfy the paper's closure conditions; the
 /// `closure` integration tests exercise them for every concrete task.
-pub trait Task {
+///
+/// `Send + Sync` so task handles (and solver processes holding them) can
+/// cross threads in the parallel model-check explorer.
+pub trait Task: Send + Sync {
     /// Task name for reports (e.g. `"2-set agreement"`).
     fn name(&self) -> String;
 

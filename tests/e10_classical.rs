@@ -13,7 +13,7 @@
 //!   the proposition's proof describes, with safety intact.
 
 use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
-use wfa::core::harness::{EfdRun, RunReport};
+use wfa::core::harness::{CsProcs, EfdRun, RunReport};
 use wfa::fd::detectors::FdGen;
 use wfa::fd::pattern::FailurePattern;
 use wfa::kernel::process::DynProcess;
@@ -22,7 +22,7 @@ use wfa::kernel::value::{Pid, Value};
 use wfa::tasks::agreement::SetAgreement;
 use wfa::tasks::task::Task;
 
-fn ksa_system(n: usize, k: u32, inputs: &[Value]) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>) {
+fn ksa_system(n: usize, k: u32, inputs: &[Value]) -> CsProcs {
     let c: Vec<Box<dyn DynProcess>> = inputs
         .iter()
         .enumerate()

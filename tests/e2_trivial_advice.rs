@@ -11,15 +11,14 @@
 use std::sync::Arc;
 
 use wfa::algorithms::trivial_advice::{TrivialAdviceC, TrivialAdviceS};
-use wfa::core::harness::{wait_freedom_ensemble, EnsembleConfig, Inert, SystemFactory};
+use wfa::core::harness::{wait_freedom_ensemble, CsProcs, EnsembleConfig, Inert, SystemFactory};
 use wfa::fd::detectors::FdGen;
 use wfa::kernel::process::DynProcess;
 use wfa::kernel::value::Value;
 use wfa::tasks::agreement::SetAgreement;
 use wfa::tasks::task::Task;
 
-fn factory(n: usize) -> impl Fn(&[Value], FdGen) -> (Vec<Box<dyn DynProcess>>, Vec<Box<dyn DynProcess>>)
-{
+fn factory(n: usize) -> impl Fn(&[Value], FdGen) -> CsProcs {
     move |input: &[Value], _fd: FdGen| {
         let c: Vec<Box<dyn DynProcess>> = input
             .iter()

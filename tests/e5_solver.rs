@@ -12,7 +12,6 @@ use std::sync::Arc;
 use wfa::core::harness::{wait_freedom_ensemble, EnsembleConfig, SystemFactory};
 use wfa::core::solver::{theorem9_system, AdoptingTaskBuilder, RenamingBuilder};
 use wfa::fd::detectors::FdGen;
-use wfa::kernel::process::DynProcess;
 use wfa::kernel::value::Value;
 use wfa::tasks::agreement::SetAgreement;
 use wfa::tasks::renaming::Renaming;

@@ -64,8 +64,8 @@ impl Process for IsProc {
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
         match self.0.poll(ctx) {
             Step::Pending => Status::Running,
-            Step::Done(view) => Status::Decided(Value::Tuple(
-                view.into_iter().map(|(p, _)| Value::Int(p as i64)).collect(),
+            Step::Done(view) => Status::Decided(Value::tuple(
+                view.into_iter().map(|(p, _)| Value::Int(p as i64)),
             )),
         }
     }

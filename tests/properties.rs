@@ -6,7 +6,6 @@ use proptest::prelude::*;
 
 use wfa::fd::detectors::{FdGen, HistoryEntry};
 use wfa::fd::environment::Environment;
-use wfa::fd::pattern::FailurePattern;
 use wfa::fd::reduction::{anti_omega_from_vector, omega_from_anti_omega_1, widen_anti_omega};
 use wfa::fd::spec::{check_anti_omega_k, check_omega, check_vector_omega_k};
 use wfa::kernel::memory::{RegKey, SharedMemory};
@@ -25,7 +24,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         (0usize..8).prop_map(|i| Value::Pid(Pid(i))),
     ];
     leaf.prop_recursive(2, 16, 4, |inner| {
-        prop::collection::vec(inner, 0..4).prop_map(Value::Tuple)
+        prop::collection::vec(inner, 0..4).prop_map(Value::tuple)
     })
 }
 
