@@ -7,6 +7,8 @@
 //! wfa-cli hierarchy --n 4 --runs 400                  Theorem-10 classification table
 //! wfa-cli refute                                      Lemma-11 refutation pipeline
 //! wfa-cli extract   --slots 600000 --stab 300         Figure-1 ¬Ω1 extraction
+//! wfa-cli faults sweep --scenario ksa --depth 2       adversarial fault sweep
+//! wfa-cli faults replay violation.json                re-execute a violation artifact
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -225,6 +227,121 @@ fn cmd_extract(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_faults(argv: &[String]) -> Result<(), String> {
+    use wfa::faults::prelude::*;
+
+    const FAULTS_USAGE: &str = "USAGE: wfa-cli faults <sweep|replay|list>\n\
+         \n\
+         faults sweep  --scenario NAME [--depth D --seeds S --seed B --threads T --out FILE]\n\
+         \n\
+         \tEnumerates every fault plan of ≤ D components (bounded DFS over\n\
+         \tcrash points, starvation stops, FD sample corruption and advice\n\
+         \tdelays), evaluates S seeds per plan with panic isolation, shrinks\n\
+         \tthe violations and prints them. --out writes the canonical report\n\
+         \tJSON (byte-identical for every --threads value). Exits non-zero\n\
+         \tif violations were found.\n\
+         \n\
+         faults replay <violation.json>\n\
+         \n\
+         \tRe-executes a serialized violation artifact from scratch and\n\
+         \treports whether it still reproduces. Exits non-zero if not.\n\
+         \n\
+         faults list\n\
+         \n\
+         \tNames of the canonical scenarios.";
+
+    match argv.first().map(String::as_str) {
+        Some("sweep") => {
+            let args = Args::parse(&argv[1..])?;
+            let mut config = SweepConfig::new(&args.get("scenario", "adopt-commit".to_string())?);
+            config.depth = args.get("depth", 2)?;
+            config.seeds_per_plan = args.get("seeds", 2)?;
+            config.base_seed = args.get("seed", 1)?;
+            let threads: usize = args.get("threads", 0)?;
+            if threads > 0 {
+                config.threads = Some(threads);
+            }
+            if Scenario::by_name(&config.scenario).is_none() {
+                return Err(format!(
+                    "unknown scenario `{}` (try: {})",
+                    config.scenario,
+                    Scenario::catalog().join(", ")
+                ));
+            }
+            let report = sweep(&config);
+            println!(
+                "[{}] {} plans, {} runs ({} worker threads): {} violation(s)",
+                report.scenario,
+                report.plans,
+                report.runs,
+                config.resolved_threads(),
+                report.violations.len()
+            );
+            for v in &report.violations {
+                println!("  {v}");
+            }
+            if let Some(path) = args.0.get("out") {
+                std::fs::write(path, report.to_json().to_string())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("report written to {path}");
+            }
+            if report.violations.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} violation(s) found", report.violations.len()))
+            }
+        }
+        Some("replay") => {
+            let Some(path) = argv.get(1) else {
+                return Err(format!("missing artifact path\n\n{FAULTS_USAGE}"));
+            };
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            // Accept both a bare violation and a full sweep report.
+            let violations: Vec<Violation> = match json.get("violations") {
+                Some(arr) => arr
+                    .arr()
+                    .ok_or_else(|| "malformed report: violations is not an array".to_string())?
+                    .iter()
+                    .map(Violation::from_json)
+                    .collect::<Result<_, _>>()?,
+                None => vec![Violation::from_json(&json)?],
+            };
+            if violations.is_empty() {
+                println!("artifact holds no violations — nothing to replay");
+                return Ok(());
+            }
+            let mut failed = 0;
+            for v in &violations {
+                let verdict = replay(v)?;
+                let mark = if verdict.reproduced { "reproduced" } else { "NOT reproduced" };
+                println!("{mark}: {v}\n  {}", verdict.detail);
+                if !verdict.reproduced {
+                    failed += 1;
+                }
+            }
+            if failed == 0 {
+                Ok(())
+            } else {
+                Err(format!("{failed} of {} violation(s) did not reproduce", violations.len()))
+            }
+        }
+        Some("list") => {
+            for name in Scenario::catalog() {
+                let sc = Scenario::by_name(name).expect("catalog names resolve");
+                println!("{name:<16} n={} budget={} ({})", sc.n, sc.budget, sc.task.name());
+            }
+            Ok(())
+        }
+        Some("help") | None => {
+            println!("{FAULTS_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown faults subcommand `{other}`\n\n{FAULTS_USAGE}")),
+    }
+}
+
 fn usage() -> &'static str {
     "wfa-cli — Wait-Freedom with Advice, runnable\n\
      \n\
@@ -236,6 +353,7 @@ fn usage() -> &'static str {
        hierarchy  Theorem-10 table      (--n --runs)\n\
        refute     Lemma-11 pipeline\n\
        extract    Figure-1 extraction   (--slots --stab --seed)\n\
+       faults     adversarial fault injection (sweep | replay | list)\n\
        help       this text"
 }
 
@@ -245,6 +363,17 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `faults` has sub-commands and positional operands, so it parses its own
+    // argument list instead of going through the global --key value parser.
+    if cmd == "faults" {
+        return match cmd_faults(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {

@@ -17,12 +17,14 @@
 //! process outputs in a finite number of its own steps, regardless of the
 //! behavior of other computation processes".
 
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use wfa_fd::detectors::FdGen;
+use wfa_fd::detectors::{FdGen, FdSource};
 use wfa_kernel::executor::Executor;
 use wfa_kernel::process::DynProcess;
 use wfa_kernel::sched::{run_schedule, RandomSched, Scheduler, Starve, StepEnv, StopReason};
@@ -70,12 +72,12 @@ impl Roles {
 
 /// Step environment wiring the failure detector and the failure pattern into
 /// a run (S-processes query `H(q, τ)`; crashed S-processes take no steps).
-struct EfdEnv<'a> {
-    fd: &'a mut FdGen,
+struct EfdEnv<'a, F: FdSource> {
+    fd: &'a mut F,
     roles: Roles,
 }
 
-impl StepEnv for EfdEnv<'_> {
+impl<F: FdSource> StepEnv for EfdEnv<'_, F> {
     fn fd_output(&mut self, pid: Pid, now: u64) -> Option<Value> {
         self.roles.sidx(pid).map(|q| self.fd.output(q, now))
     }
@@ -89,22 +91,26 @@ impl StepEnv for EfdEnv<'_> {
 }
 
 /// An assembled EFD run, ready to execute.
-pub struct EfdRun {
+///
+/// Generic over the failure-detector source so fault-injection wrappers
+/// (which corrupt or delay an inner [`FdGen`]'s samples) run through the
+/// very same harness; plain runs use the default `F = FdGen`.
+pub struct EfdRun<F: FdSource = FdGen> {
     /// The underlying executor (C-processes first, then S-processes).
     pub executor: Executor,
     /// The pid mapping.
     pub roles: Roles,
     /// The failure-detector history sampler (owns the failure pattern).
-    pub fd: FdGen,
+    pub fd: F,
 }
 
-impl EfdRun {
+impl<F: FdSource> EfdRun<F> {
     /// Assembles a run from C-process and S-process automata and a detector.
     pub fn new(
         c_procs: Vec<Box<dyn DynProcess>>,
         s_procs: Vec<Box<dyn DynProcess>>,
-        fd: FdGen,
-    ) -> EfdRun {
+        fd: F,
+    ) -> EfdRun<F> {
         assert_eq!(
             s_procs.len(),
             fd.pattern().n(),
@@ -169,6 +175,30 @@ impl EfdRun {
     }
 }
 
+/// A Δ-violation made inspectable: the task's complaint plus the offending
+/// input/output vectors, as a typed error instead of a raw panic string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidationError {
+    /// What the task objected to.
+    pub violation: TaskViolation,
+    /// The input vector `I` of the offending run.
+    pub input: Vec<Value>,
+    /// The output vector `O` of the offending run.
+    pub output: Vec<Value>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\n  I = {:?}\n  O = {:?}",
+            self.violation, self.input, self.output
+        )
+    }
+}
+
+impl Error for ValidationError {}
+
 /// Everything a theorem-experiment inspects about a finished run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -188,7 +218,12 @@ pub struct RunReport {
 
 impl RunReport {
     /// Builds the report for a finished run against `task`.
-    pub fn evaluate(run: &EfdRun, task: &dyn Task, input: &[Value], stop: StopReason) -> RunReport {
+    pub fn evaluate<F: FdSource>(
+        run: &EfdRun<F>,
+        task: &dyn Task,
+        input: &[Value],
+        stop: StopReason,
+    ) -> RunReport {
         let output = run.output_vector();
         RunReport {
             input: input.to_vec(),
@@ -200,10 +235,24 @@ impl RunReport {
         }
     }
 
-    /// Panics with a diagnostic if the run violated the task.
+    /// The Δ-verdict as a typed error carrying the offending vectors.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        match &self.verdict {
+            Ok(()) => Ok(()),
+            Err(v) => Err(ValidationError {
+                violation: v.clone(),
+                input: self.input.clone(),
+                output: self.output.clone(),
+            }),
+        }
+    }
+
+    /// Panics with a diagnostic if the run violated the task. Prefer
+    /// [`RunReport::validate`] where the caller wants to *handle* the
+    /// violation; this remains for assertion-style experiment code.
     pub fn assert_safe(&self) {
-        if let Err(e) = &self.verdict {
-            panic!("{e}\n  I = {:?}\n  O = {:?}", self.input, self.output);
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 }
@@ -253,6 +302,72 @@ impl EnsembleConfig {
     }
 }
 
+/// One structured complaint from a wait-freedom ensemble — everything needed
+/// to reproduce the offending run (the seed fully determines the inputs,
+/// pattern, detector history, stops and schedule).
+#[derive(Clone, Debug)]
+pub enum EnsembleViolation {
+    /// The output vector violated the task's Δ.
+    Safety {
+        /// The run seed (replays the whole run).
+        seed: u64,
+        /// The typed Δ-violation with vectors.
+        error: ValidationError,
+        /// Display form of the failure pattern.
+        pattern: String,
+        /// The adversary's stop schedule.
+        stops: Vec<(Pid, u64)>,
+    },
+    /// A non-stopped participant never decided within the budget.
+    WaitFreedom {
+        /// The run seed (replays the whole run).
+        seed: u64,
+        /// The C-process index that starved.
+        process: usize,
+        /// Steps that process took before the budget ran out.
+        steps: u64,
+        /// The adversary's stop schedule.
+        stops: Vec<(Pid, u64)>,
+        /// Display form of the failure pattern.
+        pattern: String,
+    },
+}
+
+impl EnsembleViolation {
+    /// The seed of the offending run.
+    pub fn seed(&self) -> u64 {
+        match self {
+            EnsembleViolation::Safety { seed, .. } => *seed,
+            EnsembleViolation::WaitFreedom { seed, .. } => *seed,
+        }
+    }
+}
+
+impl fmt::Display for EnsembleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsembleViolation::Safety { seed, error, pattern, stops } => write!(
+                f,
+                "safety violated (seed {seed}): {error}\n  stops: {stops:?}\n  pattern: {pattern}"
+            ),
+            EnsembleViolation::WaitFreedom { seed, process, steps, stops, pattern } => write!(
+                f,
+                "wait-freedom violated (seed {seed}): C{process} took {steps} steps, \
+                 never decided\n  stops: {stops:?}\n  pattern: {pattern}"
+            ),
+        }
+    }
+}
+
+impl Error for EnsembleViolation {}
+
+/// The successful outcome of a wait-freedom ensemble.
+#[derive(Clone, Debug, Default)]
+pub struct EnsembleReport {
+    /// One report per adversarial run, in seed order.
+    pub runs: Vec<RunReport>,
+}
+
 /// Runs an ensemble of adversarial EFD runs and checks wait-freedom + safety.
 ///
 /// For each seeded run: sample a failure pattern from `env_t` crashes, a
@@ -260,11 +375,9 @@ impl EnsembleConfig {
 /// random subset of C-processes at random times. Every non-stopped C-process
 /// must decide within the budget; every output vector must satisfy `task`.
 ///
-/// Returns the reports (one per run).
-///
-/// # Panics
-///
-/// Panics on any wait-freedom or safety violation, with diagnostics.
+/// Returns the per-run reports on success, or *every* violation found across
+/// the ensemble (the sweep does not stop at the first offender — downstream
+/// shrinking wants the full set).
 pub fn wait_freedom_ensemble(
     task: Arc<dyn Task>,
     cfg: &EnsembleConfig,
@@ -272,10 +385,11 @@ pub fn wait_freedom_ensemble(
     mk_fd: &dyn Fn(wfa_fd::pattern::FailurePattern, u64, u64) -> FdGen,
     factory: &SystemFactory<'_>,
     base_seed: u64,
-) -> Vec<RunReport> {
+) -> Result<EnsembleReport, Vec<EnsembleViolation>> {
     let n = cfg.n;
     let env = wfa_fd::environment::Environment::up_to(n, max_crashes.min(n - 1));
     let mut reports = Vec::new();
+    let mut violations = Vec::new();
     for r in 0..cfg.runs {
         let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(r);
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -303,21 +417,34 @@ pub fn wait_freedom_ensemble(
         let mut sched = Starve::new(base, stops.clone());
         let stop = run.run(&mut sched, cfg.budget);
         let report = RunReport::evaluate(&run, task.as_ref(), &input, stop);
-        report.assert_safe();
+        if let Err(error) = report.validate() {
+            violations.push(EnsembleViolation::Safety {
+                seed,
+                error,
+                pattern: run.fd.pattern().to_string(),
+                stops: stops.clone(),
+            });
+        }
         let stopped: Vec<Pid> = stops.iter().map(|(p, _)| *p).collect();
         for (i, part) in participants.iter().enumerate().take(n) {
             let pid = run.roles.c(i);
             if *part && !stopped.contains(&pid) && report.output[i].is_unit() {
-                panic!(
-                    "wait-freedom violated (seed {seed}): C{i} took {} steps, never decided\n  stops: {stops:?}\n  pattern: {}",
-                    run.executor.steps(pid),
-                    run.fd.pattern()
-                );
+                violations.push(EnsembleViolation::WaitFreedom {
+                    seed,
+                    process: i,
+                    steps: run.executor.steps(pid),
+                    stops: stops.clone(),
+                    pattern: run.fd.pattern().to_string(),
+                });
             }
         }
         reports.push(report);
     }
-    reports
+    if violations.is_empty() {
+        Ok(EnsembleReport { runs: reports })
+    } else {
+        Err(violations)
+    }
 }
 
 #[cfg(test)]
@@ -396,19 +523,19 @@ mod tests {
         let k = 2u32;
         let task: Arc<dyn Task> = Arc::new(SetAgreement::new(n, k as usize));
         let cfg = EnsembleConfig { n, budget: 300_000, stab: 150, runs: 6 };
-        let reports = wait_freedom_ensemble(
+        let report = wait_freedom_ensemble(
             task,
             &cfg,
             n - 1,
             &|p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed),
             &ksa_factory(n, k),
             42,
-        );
-        assert_eq!(reports.len(), 6);
+        )
+        .expect("k-set agreement under →Ωk is wait-free");
+        assert_eq!(report.runs.len(), 6);
     }
 
     #[test]
-    #[should_panic(expected = "wait-freedom violated")]
     fn ensemble_detects_non_wait_free_algorithms() {
         // An algorithm whose C-processes wait for *all* inputs before
         // deciding is not wait-free; the ensemble must catch it.
@@ -420,6 +547,10 @@ mod tests {
             me: usize,
             n: usize,
             input: Value,
+            // Idle steps before publishing: long enough that every stop the
+            // adversary draws (t < 2·stab) lands *before* publication, so a
+            // stopped process reliably starves the waiters.
+            warmup: u32,
             published: bool,
             cursor: usize,
             seen: u32,
@@ -427,6 +558,10 @@ mod tests {
 
         impl Process for WaitForAll {
             fn step(&mut self, ctx: &mut StepCtx<'_>) -> Status {
+                if self.warmup > 0 {
+                    self.warmup -= 1;
+                    return Status::Running;
+                }
                 if !self.published {
                     ctx.write(boards::input_key(self.me), self.input.clone());
                     self.published = true;
@@ -437,7 +572,10 @@ mod tests {
                     self.seen += 1;
                     self.cursor += 1;
                     if self.seen == self.n as u32 {
-                        return Status::Decided(Value::Int(0));
+                        // Decide our own (proposed) value: safety stays
+                        // clean, so the only possible complaint is the
+                        // wait-freedom one this fixture exists to trigger.
+                        return Status::Decided(self.input.clone());
                     }
                 } // busy-wait on the next slot otherwise
                 Status::Running
@@ -460,21 +598,39 @@ mod tests {
             let c: Vec<Box<dyn DynProcess>> = (0..n)
                 .map(|i| {
                     let v = if input[i].is_unit() { Value::Int(0) } else { input[i].clone() };
-                    Box::new(WaitForAll { me: i, n, input: v, published: false, cursor: 0, seen: 0 })
-                        as Box<dyn DynProcess>
+                    Box::new(WaitForAll {
+                        me: i,
+                        n,
+                        input: v,
+                        warmup: 150,
+                        published: false,
+                        cursor: 0,
+                        seen: 0,
+                    }) as Box<dyn DynProcess>
                 })
                 .collect();
             let s: Vec<Box<dyn DynProcess>> =
                 (0..n).map(|_| Box::new(IdleS) as Box<dyn DynProcess>).collect();
             (c, s)
         };
-        wait_freedom_ensemble(
+        let violations = wait_freedom_ensemble(
             task,
             &cfg,
             0,
             &|p, stab, seed| FdGen::vector_omega_k(p, 1, stab, seed),
             &factory,
             7,
+        )
+        .expect_err("wait-for-all must starve under the Starve adversary");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, EnsembleViolation::WaitFreedom { .. })),
+            "expected a wait-freedom violation, got: {violations:?}"
         );
+        // Each violation names a replayable seed with the run's adversary.
+        for v in &violations {
+            assert!(v.to_string().contains(&format!("seed {}", v.seed())));
+        }
     }
 }

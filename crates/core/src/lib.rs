@@ -24,6 +24,7 @@ pub mod prelude {
     pub use crate::solver::{theorem9_system, AdoptingTaskBuilder, RenamingBuilder};
     pub use crate::verify::{run_measured, ConcurrencyMeter, WaitFreedomMeter};
     pub use crate::harness::{
-        wait_freedom_ensemble, EfdRun, EnsembleConfig, Inert, Roles, RunReport, SystemFactory,
+        wait_freedom_ensemble, EfdRun, EnsembleConfig, EnsembleReport, EnsembleViolation, Inert,
+        Roles, RunReport, SystemFactory, ValidationError,
     };
 }

@@ -1,0 +1,180 @@
+//! Fault-injecting failure-detector wrapper.
+//!
+//! [`FaultyFdGen`] wraps an honest [`FdGen`] and corrupts its samples
+//! according to a [`FaultPlan`]: losing every k-th query, serving stale
+//! duplicates, and hiding all advice before a delay. It implements
+//! [`FdSource`], so the EFD harness runs it without knowing — the injection
+//! point the paper's model leaves open (the detector history `H ∈ D(F)` is
+//! adversarially chosen; the wrapper explores histories *outside* `D(F)` to
+//! probe how much each algorithm actually relies on its advice).
+//!
+//! All corruption is counter-based and deterministic: a wrapped generator is
+//! a pure function of the inner generator's seed and the plan.
+
+use wfa_fd::detectors::{FdGen, FdSource};
+use wfa_fd::pattern::{FailurePattern, SIdx};
+use wfa_kernel::value::Value;
+
+use crate::plan::{FaultPlan, FdFault};
+
+/// An [`FdGen`] whose samples are corrupted by a [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub struct FaultyFdGen {
+    inner: FdGen,
+    faults: Vec<FdFault>,
+    advice_delay: u64,
+    clear_after: Option<u64>,
+    /// Per-process query counters (drive the periodic faults).
+    counts: Vec<u64>,
+    /// Per-process last *fresh* sample (serves the stale duplicates).
+    cache: Vec<Option<Value>>,
+}
+
+impl FaultyFdGen {
+    /// Wraps `inner`, applying the FD-related parts of `plan` (its crash and
+    /// stop injections are handled by the run driver, not the wrapper).
+    pub fn new(inner: FdGen, plan: &FaultPlan) -> FaultyFdGen {
+        let n = inner.pattern().n();
+        FaultyFdGen {
+            inner,
+            faults: plan.fd_faults.clone(),
+            advice_delay: plan.advice_delay,
+            clear_after: plan.clear_after,
+            counts: vec![0; n],
+            cache: vec![None; n],
+        }
+    }
+
+    /// The wrapped honest generator (for history inspection).
+    pub fn inner(&self) -> &FdGen {
+        &self.inner
+    }
+
+    /// `true` iff corruption is still active at time `t`.
+    fn active(&self, t: u64) -> bool {
+        self.clear_after.is_none_or(|c| t < c)
+    }
+}
+
+impl FdSource for FaultyFdGen {
+    fn output(&mut self, q: SIdx, t: u64) -> Value {
+        self.counts[q] += 1;
+        if !self.active(t) {
+            return self.inner.output(q, t);
+        }
+        if t < self.advice_delay {
+            // Delayed advice: the module has not produced anything yet.
+            return Value::Unit;
+        }
+        // First matching fault wins; plans target each q at most once.
+        let fault = self.faults.iter().find(|f| f.q() == q).cloned();
+        match fault {
+            Some(FdFault::Lose { period, .. }) if self.counts[q].is_multiple_of(period) => Value::Unit,
+            Some(FdFault::Freeze { period, .. }) => {
+                let refresh = self.cache[q].is_none() || self.counts[q].is_multiple_of(period);
+                if refresh {
+                    let v = self.inner.output(q, t);
+                    self.cache[q] = Some(v.clone());
+                    v
+                } else {
+                    self.cache[q].clone().expect("cache populated on first query")
+                }
+            }
+            _ => self.inner.output(q, t),
+        }
+    }
+
+    fn pattern(&self) -> &FailurePattern {
+        self.inner.pattern()
+    }
+
+    fn stabilization(&self) -> u64 {
+        // Corruption pushes effective stabilization to at least its end.
+        let base = self.inner.stabilization();
+        match self.clear_after {
+            Some(c) if !self.faults.is_empty() || self.advice_delay > 0 => base.max(c),
+            _ => base.max(self.advice_delay),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn omega(n: usize) -> FdGen {
+        FdGen::omega(FailurePattern::failure_free(n), 10, 7)
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut honest = omega(3);
+        let mut wrapped = FaultyFdGen::new(omega(3), &FaultPlan::clean());
+        for t in 0..50 {
+            assert_eq!(honest.output(t as usize % 3, t), wrapped.output(t as usize % 3, t));
+        }
+        assert_eq!(wrapped.name(), "faulty(Ω)");
+    }
+
+    #[test]
+    fn lose_drops_every_kth_query() {
+        let plan = FaultPlan::clean().lose(0, 3);
+        let mut fd = FaultyFdGen::new(omega(2), &plan);
+        let vals: Vec<Value> = (0..9).map(|t| fd.output(0, 100 + t)).collect();
+        // Queries 3, 6, 9 (1-based) are lost.
+        assert_eq!(vals[2], Value::Unit);
+        assert_eq!(vals[5], Value::Unit);
+        assert_eq!(vals[8], Value::Unit);
+        assert!(vals[0] != Value::Unit && vals[1] != Value::Unit);
+        // The untargeted process is untouched.
+        assert_ne!(fd.output(1, 200), Value::Unit);
+    }
+
+    #[test]
+    fn freeze_serves_stale_duplicates() {
+        // ◇P pre-stabilization is noisy, so freshness differences show up.
+        let inner = FdGen::eventually_perfect(FailurePattern::failure_free(3), 1_000, 3);
+        let plan = FaultPlan::clean().freeze(0, 4);
+        let mut fd = FaultyFdGen::new(inner, &plan);
+        let vals: Vec<Value> = (0..8).map(|t| fd.output(0, t)).collect();
+        // Queries 2, 3 duplicate query 1's sample; query 4 refreshes.
+        assert_eq!(vals[0], vals[1]);
+        assert_eq!(vals[1], vals[2]);
+        // Inner history only records the fresh samples.
+        assert!(fd.inner().history().len() < 8);
+    }
+
+    #[test]
+    fn advice_delay_hides_everything_then_lifts() {
+        let plan = FaultPlan::clean().delay_advice(20);
+        let mut fd = FaultyFdGen::new(omega(2), &plan);
+        assert_eq!(fd.output(0, 0), Value::Unit);
+        assert_eq!(fd.output(1, 19), Value::Unit);
+        assert_ne!(fd.output(0, 20), Value::Unit);
+        // Inner history never saw the suppressed queries.
+        assert_eq!(fd.inner().history().len(), 1);
+    }
+
+    #[test]
+    fn clear_after_restores_honesty() {
+        let plan = FaultPlan::clean().lose(0, 1).clear_at(30);
+        let mut fd = FaultyFdGen::new(omega(2), &plan);
+        assert_eq!(fd.output(0, 10), Value::Unit); // every query lost
+        assert_ne!(fd.output(0, 30), Value::Unit); // corruption over
+        assert!(fd.stabilization() >= 30);
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let plan = FaultPlan::clean().lose(1, 2).freeze(0, 3).delay_advice(5).clear_at(40);
+        let run = || {
+            let mut fd = FaultyFdGen::new(omega(3), &plan);
+            (0..60).map(|t| fd.output(t as usize % 3, t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,293 @@
+//! Evaluating one fault plan against one scenario — and replaying the
+//! resulting artifacts.
+//!
+//! [`run_plan`] is the single execution path every caller shares (sweeps,
+//! shrinking, the CLI replayer): seed → inputs, plan → failure pattern and
+//! fault wrapper, recorded schedule → violations. Because every ingredient
+//! is deterministic, [`replay`] can re-execute a serialized
+//! [`Violation`] from its JSON artifact alone and report whether it still
+//! reproduces.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use wfa_core::harness::{EfdRun, RunReport};
+use wfa_fd::pattern::FailurePattern;
+use wfa_kernel::sched::{Record, Replay, Starve};
+use wfa_kernel::value::Pid;
+
+use crate::fdwrap::FaultyFdGen;
+use crate::plan::FaultPlan;
+use crate::scenario::Scenario;
+use crate::violation::{Violation, ViolationKind};
+
+/// Everything one plan evaluation produced.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// The run report (inputs, outputs, Δ-verdict, step counts).
+    pub report: RunReport,
+    /// The full recorded schedule.
+    pub schedule: Vec<Pid>,
+    /// The violations found (unshrunk; empty on a clean pass).
+    pub violations: Vec<Violation>,
+}
+
+/// The deterministic participant set: the first `max_participants` C-indices.
+pub fn participants(sc: &Scenario) -> Vec<bool> {
+    let max_p = sc.task.max_participants().min(sc.n);
+    (0..sc.task.arity()).map(|i| i < max_p).collect()
+}
+
+/// The deterministic input vector for `seed`.
+pub fn inputs_for(sc: &Scenario, seed: u64) -> Vec<wfa_kernel::value::Value> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sc.task.sample_inputs(&participants(sc), &mut rng)
+}
+
+/// Assembles the faulted run for `(plan, seed)`.
+///
+/// # Panics
+///
+/// Panics if the plan crashes every S-process — the EFD model requires at
+/// least one correct one, and [`crate::sweep::PlanSearch`] never emits such
+/// plans; hitting this is a caller bug, not a finding.
+pub fn build_run(
+    sc: &Scenario,
+    plan: &FaultPlan,
+    seed: u64,
+) -> (EfdRun<FaultyFdGen>, Vec<wfa_kernel::value::Value>) {
+    let input = inputs_for(sc, seed);
+    let crashed: Vec<usize> = plan.crashes.iter().map(|(q, _)| *q).collect();
+    assert!(
+        (0..sc.n).any(|q| !crashed.contains(&q)),
+        "fault plan crashes all {n} S-processes; the model needs a correct one",
+        n = sc.n
+    );
+    let pattern = FailurePattern::with_crashes(sc.n, &plan.crashes);
+    let inner = (sc.mk_fd)(pattern, sc.stab, seed);
+    let (c_procs, s_procs) = (sc.factory)(&input, inner.clone());
+    let fd = FaultyFdGen::new(inner, plan);
+    (EfdRun::new(c_procs, s_procs, fd), input)
+}
+
+/// Evaluates one plan: runs the faulted system under a seeded fair schedule
+/// with the plan's `Starve` stops, records the schedule, and checks safety
+/// always and wait-freedom when the plan is eventually clean.
+pub fn run_plan(sc: &Scenario, plan: &FaultPlan, seed: u64) -> PlanOutcome {
+    let (mut run, input) = build_run(sc, plan, seed);
+    let stops: Vec<(Pid, u64)> = plan.stops.iter().map(|(i, t)| (run.roles.c(*i), *t)).collect();
+    let base = run.fair_sched(seed ^ 0xdead);
+    let mut sched = Record::new(Starve::new(base, stops));
+    // Chunked run with early exit once every C-process the adversary lets
+    // run has decided — keeps recorded schedules (and thus violation
+    // artifacts) short instead of always exhausting the budget.
+    let parts = participants(sc);
+    let stopped_c: Vec<usize> = plan.stops.iter().map(|(i, _)| *i).collect();
+    let expected: Vec<Pid> = parts
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| **p && !stopped_c.contains(i))
+        .map(|(i, _)| run.roles.c(i))
+        .collect();
+    let chunk = 64;
+    let mut used = 0;
+    let mut stop = wfa_kernel::sched::StopReason::BudgetExhausted;
+    while used < sc.budget {
+        let step = chunk.min(sc.budget - used);
+        stop = run.run(&mut sched, step);
+        used += step;
+        let undecided = run.undecided();
+        if expected.iter().all(|p| !undecided.contains(p)) {
+            break;
+        }
+    }
+    let report = RunReport::evaluate(&run, sc.task.as_ref(), &input, stop);
+    let schedule = sched.into_log();
+
+    let mut violations = Vec::new();
+    let mk = |kind: ViolationKind| Violation {
+        scenario: sc.name.clone(),
+        seed,
+        plan: plan.clone(),
+        kind,
+        schedule: schedule.iter().map(|p| p.0).collect(),
+        original_len: schedule.len(),
+    };
+    if let Err(e) = report.validate() {
+        violations.push(mk(ViolationKind::Safety { reason: e.violation.reason.clone() }));
+    }
+    if plan.preserves_liveness() {
+        for (i, part) in parts.iter().enumerate() {
+            if *part && !stopped_c.contains(&i) && report.output[i].is_unit() {
+                violations.push(mk(ViolationKind::WaitFreedom {
+                    process: i,
+                    steps: report.c_steps[i],
+                }));
+            }
+        }
+    }
+    PlanOutcome { report, schedule, violations }
+}
+
+/// Re-executes `(plan, seed)` under a fixed schedule and reports the result.
+pub fn replay_report(sc: &Scenario, plan: &FaultPlan, seed: u64, schedule: &[Pid]) -> RunReport {
+    let (mut run, input) = build_run(sc, plan, seed);
+    let mut sched = Replay::new(schedule.to_vec());
+    let stop = run.run(&mut sched, schedule.len() as u64 + 1);
+    RunReport::evaluate(&run, sc.task.as_ref(), &input, stop)
+}
+
+/// The result of replaying a serialized violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayVerdict {
+    /// `true` iff the artifact still reproduces its violation.
+    pub reproduced: bool,
+    /// Human-readable evidence (the re-observed reason / starver / payload).
+    pub detail: String,
+}
+
+/// Replays a [`Violation`] artifact from scratch.
+///
+/// * `Safety` — re-runs the stored schedule and re-validates Δ.
+/// * `WaitFreedom` — re-runs the full plan (schedules below the budget
+///   starve trivially, so the stored schedule alone cannot certify it).
+/// * `Panic` — re-runs the full plan under `catch_unwind`.
+///
+/// # Errors
+///
+/// Returns an error if the scenario name is unknown.
+pub fn replay(v: &Violation) -> Result<ReplayVerdict, String> {
+    let sc = Scenario::by_name(&v.scenario)
+        .ok_or_else(|| format!("unknown scenario `{}`", v.scenario))?;
+    Ok(match &v.kind {
+        ViolationKind::Safety { reason } => {
+            let report = replay_report(&sc, &v.plan, v.seed, &v.schedule_pids());
+            match report.validate() {
+                Err(e) => ReplayVerdict {
+                    reproduced: e.violation.reason == *reason,
+                    detail: format!("re-observed: {}", e.violation.reason),
+                },
+                Ok(()) => {
+                    ReplayVerdict { reproduced: false, detail: "run validated cleanly".into() }
+                }
+            }
+        }
+        ViolationKind::WaitFreedom { process, .. } => {
+            let outcome = run_plan(&sc, &v.plan, v.seed);
+            let hit = outcome.violations.iter().find_map(|w| match &w.kind {
+                ViolationKind::WaitFreedom { process: p, steps } if p == process => Some(*steps),
+                _ => None,
+            });
+            match hit {
+                Some(steps) => ReplayVerdict {
+                    reproduced: true,
+                    detail: format!("C{process} starved again after {steps} steps"),
+                },
+                None => ReplayVerdict {
+                    reproduced: false,
+                    detail: format!("C{process} decided this time"),
+                },
+            }
+        }
+        ViolationKind::Panic { .. } => {
+            let result = catch_unwind(AssertUnwindSafe(|| run_plan(&sc, &v.plan, v.seed)));
+            match result {
+                Err(payload) => ReplayVerdict {
+                    reproduced: true,
+                    detail: format!("panicked again: {}", payload_string(payload.as_ref())),
+                },
+                Ok(_) => ReplayVerdict { reproduced: false, detail: "no panic this time".into() },
+            }
+        }
+    })
+}
+
+/// Stringifies a `catch_unwind` payload (panics carry `&str` or `String`).
+pub fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plans_pass_canonical_scenarios() {
+        for name in ["adopt-commit", "ksa", "renaming", "wait-for-all"] {
+            let sc = Scenario::by_name(name).unwrap();
+            let outcome = run_plan(&sc, &FaultPlan::clean(), 5);
+            assert!(
+                outcome.violations.is_empty(),
+                "{name}: {:?}",
+                outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            );
+            assert!(outcome.report.verdict.is_ok());
+        }
+    }
+
+    #[test]
+    fn run_plan_is_deterministic() {
+        let sc = Scenario::fragile_commit();
+        let plan = FaultPlan::clean().stop_c(2, 0);
+        let a = run_plan(&sc, &plan, 11);
+        let b = run_plan(&sc, &plan, 11);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.report.output, b.report.output);
+    }
+
+    #[test]
+    fn fragile_commit_violates_under_some_seed() {
+        let sc = Scenario::fragile_commit();
+        let found = (0..40).any(|seed| {
+            !run_plan(&sc, &FaultPlan::clean(), seed).violations.is_empty()
+        });
+        assert!(found, "no seed in 0..40 exposed the fragile commit race");
+    }
+
+    #[test]
+    fn replayed_schedule_reproduces_the_report() {
+        let sc = Scenario::fragile_commit();
+        for seed in 0..40 {
+            let outcome = run_plan(&sc, &FaultPlan::clean(), seed);
+            if outcome.violations.is_empty() {
+                continue;
+            }
+            let replayed = replay_report(&sc, &FaultPlan::clean(), seed, &outcome.schedule);
+            assert_eq!(replayed.output, outcome.report.output, "seed {seed}");
+            assert_eq!(replayed.verdict, outcome.report.verdict, "seed {seed}");
+            return;
+        }
+        panic!("no violating seed found");
+    }
+
+    #[test]
+    fn crash_plans_keep_ksa_wait_free() {
+        // Crashing S-processes (≤ n−1 of them) probes the algorithm under
+        // the patterns its detector is specified for: no violations.
+        let sc = Scenario::ksa();
+        for (q, t) in [(0usize, 0u64), (1, 25), (2, 80)] {
+            let outcome = run_plan(&sc, &FaultPlan::clean().crash_s(q, t), 3);
+            assert!(
+                outcome.violations.is_empty(),
+                "crash({q}@{t}): {:?}",
+                outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes all")]
+    fn crashing_every_s_process_is_rejected() {
+        let sc = Scenario::ksa();
+        let plan = FaultPlan::clean().crash_s(0, 0).crash_s(1, 0).crash_s(2, 0);
+        let _ = build_run(&sc, &plan, 1);
+    }
+}

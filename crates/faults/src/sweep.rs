@@ -1,0 +1,371 @@
+//! Systematic fault sweeps: bounded-DFS plan search, panic-isolated
+//! parallel evaluation, deterministic reports.
+//!
+//! [`PlanSearch`] *enumerates* fault plans (every combination of up to
+//! `depth` atomic faults from a scenario-derived menu) instead of sampling
+//! them — the adversary is exhaustive within its bound, so a clean sweep is
+//! a statement about a space, not a sample. [`sweep`] evaluates every
+//! `(plan, seed)` job on a worker pool; each job runs under `catch_unwind`,
+//! so one torn automaton becomes a [`ViolationKind::Panic`] entry in the
+//! report instead of taking the sweep down.
+//!
+//! Determinism contract: job seeds derive from `(base_seed, job index)`,
+//! results are assembled in job-index order, and the report serializes no
+//! timing or thread information — `SweepReport::to_json` is byte-identical
+//! for any worker count (`WFA_THREADS=1` vs `8` is CI-enforced).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::plan::FaultPlan;
+use crate::run::{payload_string, run_plan};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+use crate::violation::{Violation, ViolationKind};
+
+/// One atomic fault the search can add to a plan.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Component {
+    Crash(usize, u64),
+    Stop(usize, u64),
+    Lose(usize, u64),
+    Freeze(usize, u64),
+    Delay(u64),
+    Clear(u64),
+}
+
+/// Bounded-DFS enumeration of fault plans for one scenario.
+///
+/// The component menu is derived from the scenario (crash/stop points per
+/// process at `t ∈ {0, stab}`, sample loss and freezing, advice delay and a
+/// clearing point); [`PlanSearch::plans`] returns every valid combination
+/// of at most `depth` components, in a deterministic order starting with
+/// the clean plan.
+#[derive(Clone, Debug)]
+pub struct PlanSearch {
+    components: Vec<Component>,
+    depth: usize,
+    n: usize,
+}
+
+impl PlanSearch {
+    /// The search space for `sc` with the given combination bound.
+    pub fn for_scenario(sc: &Scenario, depth: usize) -> PlanSearch {
+        let mut components = Vec::new();
+        let times = [0, sc.stab];
+        for q in 0..sc.n {
+            for t in times {
+                components.push(Component::Crash(q, t));
+            }
+        }
+        let max_p = sc.task.max_participants().min(sc.n);
+        for i in 0..max_p {
+            components.push(Component::Stop(i, 0));
+        }
+        for q in 0..sc.n {
+            components.push(Component::Lose(q, 2));
+            components.push(Component::Freeze(q, 3));
+        }
+        components.push(Component::Delay(sc.stab));
+        components.push(Component::Clear(2 * sc.stab));
+        PlanSearch { components, depth, n: sc.n }
+    }
+
+    /// Every valid plan with at most `depth` components (clean plan first).
+    pub fn plans(&self) -> Vec<FaultPlan> {
+        let mut out = vec![FaultPlan::clean()];
+        let mut combo = Vec::new();
+        self.dfs(0, &mut combo, &mut out);
+        out
+    }
+
+    fn dfs(&self, from: usize, combo: &mut Vec<usize>, out: &mut Vec<FaultPlan>) {
+        if combo.len() >= self.depth {
+            return;
+        }
+        for idx in from..self.components.len() {
+            combo.push(idx);
+            if let Some(plan) = self.build(combo) {
+                out.push(plan);
+                self.dfs(idx + 1, combo, out);
+            }
+            combo.pop();
+        }
+    }
+
+    /// Builds the plan for a component combination, or `None` if invalid
+    /// (all S-processes crashed, a process FD-faulted twice, a duplicate
+    /// crash/stop target, a delay repeated, or a clear with nothing to
+    /// clear).
+    fn build(&self, combo: &[usize]) -> Option<FaultPlan> {
+        let mut plan = FaultPlan::clean();
+        for idx in combo {
+            match &self.components[*idx] {
+                Component::Crash(q, t) => {
+                    if plan.crashes.iter().any(|(cq, _)| cq == q) {
+                        return None;
+                    }
+                    plan = plan.crash_s(*q, *t);
+                }
+                Component::Stop(i, t) => {
+                    if plan.stops.iter().any(|(si, _)| si == i) {
+                        return None;
+                    }
+                    plan = plan.stop_c(*i, *t);
+                }
+                Component::Lose(q, p) => {
+                    if plan.fd_faults.iter().any(|f| f.q() == *q) {
+                        return None;
+                    }
+                    plan = plan.lose(*q, *p);
+                }
+                Component::Freeze(q, p) => {
+                    if plan.fd_faults.iter().any(|f| f.q() == *q) {
+                        return None;
+                    }
+                    plan = plan.freeze(*q, *p);
+                }
+                Component::Delay(d) => {
+                    if plan.advice_delay > 0 {
+                        return None;
+                    }
+                    plan = plan.delay_advice(*d);
+                }
+                Component::Clear(t) => {
+                    if plan.clear_after.is_some()
+                        || (plan.fd_faults.is_empty() && plan.advice_delay == 0)
+                    {
+                        return None;
+                    }
+                    plan = plan.clear_at(*t);
+                }
+            }
+        }
+        if plan.crashes.len() >= self.n {
+            return None;
+        }
+        Some(plan)
+    }
+}
+
+/// Configuration of one fault sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The scenario to sweep ([`Scenario::by_name`]).
+    pub scenario: String,
+    /// Combination bound for [`PlanSearch`].
+    pub depth: usize,
+    /// Seeds evaluated per plan.
+    pub seeds_per_plan: u64,
+    /// Base seed (job seeds derive from it deterministically).
+    pub base_seed: u64,
+    /// Shrink violations before reporting.
+    pub shrink: bool,
+    /// Worker threads; `None` reads `WFA_THREADS` (default 1).
+    pub threads: Option<usize>,
+}
+
+impl SweepConfig {
+    /// A small default sweep of `scenario`: depth 2, 2 seeds per plan.
+    pub fn new(scenario: &str) -> SweepConfig {
+        SweepConfig {
+            scenario: scenario.to_string(),
+            depth: 2,
+            seeds_per_plan: 2,
+            base_seed: 1,
+            shrink: true,
+            threads: None,
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+            .or_else(|| std::env::var("WFA_THREADS").ok().and_then(|s| s.parse().ok()))
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// The deterministic outcome of a fault sweep.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The swept scenario.
+    pub scenario: String,
+    /// Plans enumerated by the search.
+    pub plans: usize,
+    /// `(plan, seed)` jobs evaluated.
+    pub runs: usize,
+    /// All violations, in job order (shrunk if configured); panics appear
+    /// here as [`ViolationKind::Panic`] entries.
+    pub violations: Vec<Violation>,
+}
+
+impl SweepReport {
+    /// Violations of a given broad kind.
+    pub fn count_kind(&self, pred: impl Fn(&ViolationKind) -> bool) -> usize {
+        self.violations.iter().filter(|v| pred(&v.kind)).count()
+    }
+
+    /// Canonical serialization — byte-identical across worker counts.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("plans".into(), Json::Num(self.plans as u64)),
+            ("runs".into(), Json::Num(self.runs as u64)),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(Violation::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The seed for job `idx` of a sweep (the ensemble derivation, reused).
+pub fn job_seed(base: u64, idx: usize) -> u64 {
+    base.wrapping_mul(1_000_003).wrapping_add(idx as u64)
+}
+
+/// Runs one sweep: enumerates plans, evaluates every `(plan, seed)` job on
+/// `resolved_threads()` workers with per-job panic isolation, and returns
+/// the violations in deterministic job order.
+///
+/// # Panics
+///
+/// Panics only if the scenario name is unknown — never because a *run*
+/// panicked (those become [`ViolationKind::Panic`] violations).
+pub fn sweep(config: &SweepConfig) -> SweepReport {
+    let sc = Scenario::by_name(&config.scenario)
+        .unwrap_or_else(|| panic!("unknown scenario `{}`", config.scenario));
+    let plans = PlanSearch::for_scenario(&sc, config.depth).plans();
+    let jobs: Vec<(usize, &FaultPlan, u64)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, plan)| {
+            (0..config.seeds_per_plan)
+                .map(move |s| (pi, plan, s))
+                .collect::<Vec<_>>()
+        })
+        .enumerate()
+        .map(|(idx, (_pi, plan, _s))| (idx, plan, job_seed(config.base_seed, idx)))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Vec<Violation>>>> = Mutex::new(vec![None; jobs.len()]);
+    let workers = config.resolved_threads().min(jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((idx, plan, seed)) = jobs.get(i).copied() else {
+                    return;
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut vs = run_plan(&sc, plan, seed).violations;
+                    if config.shrink {
+                        for v in &mut vs {
+                            shrink(v);
+                        }
+                    }
+                    vs
+                }));
+                let vs = result.unwrap_or_else(|payload| {
+                    vec![Violation {
+                        scenario: sc.name.clone(),
+                        seed,
+                        plan: plan.clone(),
+                        kind: ViolationKind::Panic { payload: payload_string(payload.as_ref()) },
+                        schedule: Vec::new(),
+                        original_len: 0,
+                    }]
+                });
+                slots.lock().expect("slot lock")[idx] = Some(vs);
+            });
+        }
+    });
+
+    let violations = slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .flat_map(|s| s.expect("every job filled its slot"))
+        .collect();
+    SweepReport { scenario: sc.name, plans: plans.len(), runs: jobs.len(), violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FdFault;
+
+    #[test]
+    fn plan_search_is_bounded_and_valid() {
+        let sc = Scenario::adopt_commit();
+        let search = PlanSearch::for_scenario(&sc, 2);
+        let plans = search.plans();
+        assert_eq!(plans[0], FaultPlan::clean());
+        assert!(plans.len() > 20, "space too small: {}", plans.len());
+        for p in &plans {
+            assert!(p.crashes.len() < sc.n, "all-crash plan: {}", p.describe());
+            // At most one FD fault per process.
+            for f in &p.fd_faults {
+                assert_eq!(p.fd_faults.iter().filter(|g| g.q() == f.q()).count(), 1);
+            }
+        }
+        // Depth 0 is just the clean plan; depth grows the space.
+        assert_eq!(PlanSearch::for_scenario(&sc, 0).plans().len(), 1);
+        let d1 = PlanSearch::for_scenario(&sc, 1).plans().len();
+        assert!(d1 > 1 && d1 < plans.len());
+    }
+
+    #[test]
+    fn search_covers_crash_and_delay_combinations() {
+        let sc = Scenario::ksa();
+        let plans = PlanSearch::for_scenario(&sc, 2).plans();
+        assert!(plans.iter().any(|p| !p.crashes.is_empty() && p.advice_delay > 0));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.fd_faults.first(), Some(FdFault::Lose { .. }))
+                && p.clear_after.is_some()));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let mut config = SweepConfig::new("fragile-commit");
+        config.depth = 1;
+        config.seeds_per_plan = 2;
+        config.shrink = false; // keep the test fast; shrinking is deterministic anyway
+        config.threads = Some(1);
+        let serial = sweep(&config).to_json().to_string();
+        config.threads = Some(8);
+        let parallel = sweep(&config).to_json().to_string();
+        assert_eq!(serial, parallel);
+        assert!(!serial.is_empty());
+    }
+
+    #[test]
+    fn sweep_finds_fragile_commit_violations() {
+        let mut config = SweepConfig::new("fragile-commit");
+        config.depth = 1;
+        config.seeds_per_plan = 4;
+        config.shrink = false;
+        config.threads = Some(4);
+        let report = sweep(&config);
+        assert!(report.count_kind(|k| matches!(k, ViolationKind::Safety { .. })) > 0);
+    }
+
+    #[test]
+    fn sweep_finds_wait_freedom_violations() {
+        let mut config = SweepConfig::new("wait-for-all");
+        config.depth = 1;
+        config.seeds_per_plan = 1;
+        config.shrink = false;
+        config.threads = Some(2);
+        let report = sweep(&config);
+        assert!(report.count_kind(|k| matches!(k, ViolationKind::WaitFreedom { .. })) > 0);
+        // And no safety violations: wait-for-all is safe, just not live.
+        assert_eq!(report.count_kind(|k| matches!(k, ViolationKind::Safety { .. })), 0);
+    }
+}

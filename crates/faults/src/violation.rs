@@ -1,0 +1,212 @@
+//! Structured, replayable violation reports.
+//!
+//! A [`Violation`] is what a fault sweep emits instead of panicking: the
+//! scenario name, the seed, the [`FaultPlan`], the (possibly shrunk)
+//! violating schedule and a typed [`ViolationKind`]. The artifact is
+//! self-contained — `Violation::from_json` plus [`crate::run::replay`]
+//! re-executes the exact run from nothing but the JSON text.
+
+use wfa_kernel::value::Pid;
+
+use crate::json::Json;
+use crate::plan::FaultPlan;
+
+/// What went wrong in a faulted run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// The output vector left Δ.
+    Safety {
+        /// The task's complaint.
+        reason: String,
+    },
+    /// A non-stopped participant never decided although the plan was
+    /// eventually clean.
+    WaitFreedom {
+        /// The starving C-process index.
+        process: usize,
+        /// Steps it took before the budget ran out.
+        steps: u64,
+    },
+    /// The run panicked (a torn automaton, a buggy predicate); the payload
+    /// is the captured panic message.
+    Panic {
+        /// The panic payload, stringified.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Safety { reason } => write!(f, "safety: {reason}"),
+            ViolationKind::WaitFreedom { process, steps } => {
+                write!(f, "wait-freedom: C{process} starved after {steps} steps")
+            }
+            ViolationKind::Panic { payload } => write!(f, "panic: {payload}"),
+        }
+    }
+}
+
+/// A replayable fault-injection violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The canonical scenario name ([`crate::scenario::Scenario::by_name`]).
+    pub scenario: String,
+    /// The run seed (determines inputs, detector noise and base schedule).
+    pub seed: u64,
+    /// The fault plan in force.
+    pub plan: FaultPlan,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The violating schedule (pids), shrunk where possible; empty for
+    /// panics (the run tore before a schedule could be certified).
+    pub schedule: Vec<usize>,
+    /// Schedule length before shrinking (`= schedule.len()` if unshrunk).
+    pub original_len: usize,
+}
+
+impl Violation {
+    /// The schedule as kernel pids.
+    pub fn schedule_pids(&self) -> Vec<Pid> {
+        self.schedule.iter().map(|p| Pid(*p)).collect()
+    }
+
+    /// Serializes the violation.
+    pub fn to_json(&self) -> Json {
+        let kind = match &self.kind {
+            ViolationKind::Safety { reason } => Json::Obj(vec![
+                ("type".into(), Json::Str("safety".into())),
+                ("reason".into(), Json::Str(reason.clone())),
+            ]),
+            ViolationKind::WaitFreedom { process, steps } => Json::Obj(vec![
+                ("type".into(), Json::Str("wait-freedom".into())),
+                ("process".into(), Json::Num(*process as u64)),
+                ("steps".into(), Json::Num(*steps)),
+            ]),
+            ViolationKind::Panic { payload } => Json::Obj(vec![
+                ("type".into(), Json::Str("panic".into())),
+                ("payload".into(), Json::Str(payload.clone())),
+            ]),
+        };
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("seed".into(), Json::Num(self.seed)),
+            ("kind".into(), kind),
+            ("plan".into(), self.plan.to_json()),
+            (
+                "schedule".into(),
+                Json::Arr(self.schedule.iter().map(|p| Json::Num(*p as u64)).collect()),
+            ),
+            ("original_len".into(), Json::Num(self.original_len as u64)),
+        ])
+    }
+
+    /// Deserializes a violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Violation, String> {
+        let kind_obj = v.get("kind").ok_or("violation: missing kind")?;
+        let kind = match kind_obj.get("type").and_then(Json::str) {
+            Some("safety") => ViolationKind::Safety {
+                reason: kind_obj
+                    .get("reason")
+                    .and_then(Json::str)
+                    .ok_or("violation: missing reason")?
+                    .to_string(),
+            },
+            Some("wait-freedom") => ViolationKind::WaitFreedom {
+                process: kind_obj
+                    .get("process")
+                    .and_then(Json::num)
+                    .ok_or("violation: missing process")? as usize,
+                steps: kind_obj.get("steps").and_then(Json::num).unwrap_or(0),
+            },
+            Some("panic") => ViolationKind::Panic {
+                payload: kind_obj
+                    .get("payload")
+                    .and_then(Json::str)
+                    .ok_or("violation: missing payload")?
+                    .to_string(),
+            },
+            other => return Err(format!("violation: unknown kind {other:?}")),
+        };
+        let schedule = v
+            .get("schedule")
+            .and_then(Json::arr)
+            .ok_or("violation: missing schedule")?
+            .iter()
+            .map(|j| j.num().map(|n| n as usize).ok_or("violation: bad schedule entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Violation {
+            scenario: v
+                .get("scenario")
+                .and_then(Json::str)
+                .ok_or("violation: missing scenario")?
+                .to_string(),
+            seed: v.get("seed").and_then(Json::num).ok_or("violation: missing seed")?,
+            plan: FaultPlan::from_json(v.get("plan").ok_or("violation: missing plan")?)?,
+            kind,
+            original_len: v
+                .get("original_len")
+                .and_then(Json::num)
+                .map(|n| n as usize)
+                .unwrap_or(schedule.len()),
+            schedule,
+        })
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] seed {} plan `{}`: {} (schedule {} steps, shrunk from {})",
+            self.scenario,
+            self.seed,
+            self.plan.describe(),
+            self.kind,
+            self.schedule.len(),
+            self.original_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Violation {
+        Violation {
+            scenario: "fragile-commit".into(),
+            seed: 424242,
+            plan: FaultPlan::clean().crash_s(1, 7).delay_advice(3).clear_at(60),
+            kind: ViolationKind::Safety { reason: "party 0 committed 0 but party 1 carries 1".into() },
+            schedule: vec![0, 1, 0, 2, 1],
+            original_len: 400,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        for kind in [
+            ViolationKind::Safety { reason: "split \"brain\"".into() },
+            ViolationKind::WaitFreedom { process: 2, steps: 17 },
+            ViolationKind::Panic { payload: "index out of bounds".into() },
+        ] {
+            let mut v = sample();
+            v.kind = kind;
+            let text = v.to_json().to_string();
+            assert_eq!(Violation::from_json(&Json::parse(&text).unwrap()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn display_names_the_essentials() {
+        let s = sample().to_string();
+        for needle in ["fragile-commit", "424242", "crash(1@7)", "safety", "shrunk from 400"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

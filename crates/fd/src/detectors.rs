@@ -26,6 +26,49 @@ use wfa_kernel::value::Value;
 
 use crate::pattern::{FailurePattern, SIdx};
 
+/// A source of failure-detector outputs for one failure pattern.
+///
+/// The EFD harness queries histories only through this trait, so detector
+/// *wrappers* — most importantly the fault-injection layer's `FaultyFdGen`,
+/// which corrupts, delays or duplicates the samples of an inner [`FdGen`] —
+/// can be dropped into any run without the harness knowing.
+pub trait FdSource {
+    /// Answers the query of S-process `q` at time `t` (i.e. `H(q, t)`).
+    fn output(&mut self, q: SIdx, t: u64) -> Value;
+
+    /// The failure pattern this history is sampled for.
+    fn pattern(&self) -> &FailurePattern;
+
+    /// The stabilization time of this sample (0 for time-independent
+    /// detectors).
+    fn stabilization(&self) -> u64 {
+        0
+    }
+
+    /// Detector name (for reports).
+    fn name(&self) -> String {
+        "fd".to_string()
+    }
+}
+
+impl FdSource for FdGen {
+    fn output(&mut self, q: SIdx, t: u64) -> Value {
+        FdGen::output(self, q, t)
+    }
+
+    fn pattern(&self) -> &FailurePattern {
+        FdGen::pattern(self)
+    }
+
+    fn stabilization(&self) -> u64 {
+        FdGen::stabilization(self)
+    }
+
+    fn name(&self) -> String {
+        FdGen::name(self)
+    }
+}
+
 /// One recorded query: `H(q, t) = val`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct HistoryEntry {

@@ -87,20 +87,50 @@ impl Environment {
     /// Enumerates every pattern in which exactly the processes of each
     /// subset of size `≤ t` crash at time `crash_at` — the qualitative
     /// pattern family (who fails) at a fixed crash time (when).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ≥ 64`. The former implementation iterated subsets by
+    /// bitmask and *silently overflowed* its mask for large `n`; the limit is
+    /// now an explicit, documented contract (`2^64` patterns could not be
+    /// materialized anyway — use [`Environment::sample`] for large systems).
     pub fn enumerate_at(&self, crash_at: u64) -> Vec<FailurePattern> {
+        assert!(
+            self.n < 64,
+            "enumerate_at supports at most 63 S-processes (n = {}); \
+             use Environment::sample for larger systems",
+            self.n
+        );
+        // Enumerate crash subsets directly by size (0..=t), lexicographically
+        // within each size — O(#patterns), independent of 2^n.
         let mut out = Vec::new();
-        // Iterate subsets of {0..n} by bitmask; keep those with ≤ t bits and
-        // at least one process left correct.
-        for mask in 0u32..(1u32 << self.n) {
-            let count = mask.count_ones() as usize;
-            if count > self.t || count == self.n {
-                continue;
-            }
-            let crashes: Vec<(usize, u64)> =
-                (0..self.n).filter(|q| mask & (1 << q) != 0).map(|q| (q, crash_at)).collect();
-            out.push(FailurePattern::with_crashes(self.n, &crashes));
+        let mut subset: Vec<usize> = Vec::new();
+        for size in 0..=self.t.min(self.n.saturating_sub(1)) {
+            self.push_subsets(0, size, crash_at, &mut subset, &mut out);
         }
         out
+    }
+
+    /// Appends every size-`left` extension of `subset` drawn from
+    /// `start..n`, as failure patterns crashing the subset at `crash_at`.
+    fn push_subsets(
+        &self,
+        start: usize,
+        left: usize,
+        crash_at: u64,
+        subset: &mut Vec<usize>,
+        out: &mut Vec<FailurePattern>,
+    ) {
+        if left == 0 {
+            let crashes: Vec<(usize, u64)> = subset.iter().map(|&q| (q, crash_at)).collect();
+            out.push(FailurePattern::with_crashes(self.n, &crashes));
+            return;
+        }
+        for q in start..self.n {
+            subset.push(q);
+            self.push_subsets(q + 1, left - 1, crash_at, subset, out);
+            subset.pop();
+        }
     }
 }
 
@@ -151,6 +181,24 @@ mod tests {
         assert_eq!(Environment::up_to(3, 1).enumerate_at(5).len(), 4);
         // n=3, t=2: 1 + 3 + 3 = 7.
         assert_eq!(Environment::up_to(3, 2).enumerate_at(5).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 63 S-processes")]
+    fn enumerate_guards_against_mask_overflow() {
+        // Regression: `1 << q` silently overflowed for large n before the
+        // guard; now the limit is explicit.
+        Environment::up_to(64, 1).enumerate_at(0);
+    }
+
+    #[test]
+    fn enumerate_works_up_to_the_mask_boundary() {
+        // n = 33 overflowed the old u32 mask; with u64 masks and t = 0 the
+        // enumeration is just the failure-free pattern.
+        let env = Environment::up_to(33, 0);
+        let pats = env.enumerate_at(0);
+        assert_eq!(pats.len(), 1);
+        assert!(pats[0].faulty().is_empty());
     }
 
     #[test]

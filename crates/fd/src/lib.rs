@@ -39,7 +39,7 @@ pub mod spec;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::detectors::{FdGen, HistoryEntry};
+    pub use crate::detectors::{FdGen, FdSource, HistoryEntry};
     pub use crate::environment::Environment;
     pub use crate::pattern::{FailurePattern, SIdx};
     pub use crate::reduction::{anti_omega_from_vector, omega_from_anti_omega_1, widen_anti_omega};

@@ -202,6 +202,45 @@ impl Scheduler for Replay {
     }
 }
 
+/// Transparent wrapper recording every pid the inner scheduler emits.
+///
+/// The recorded log is a *replayable* schedule: feeding it to [`Replay`]
+/// against an identically seeded environment reproduces the run step for
+/// step. The fault-injection layer uses this to attach concrete
+/// counterexample schedules to violation reports.
+#[derive(Clone, Debug)]
+pub struct Record<S> {
+    inner: S,
+    log: Vec<Pid>,
+}
+
+impl<S: Scheduler> Record<S> {
+    /// Wraps `inner`, recording each emitted pid.
+    pub fn new(inner: S) -> Record<S> {
+        Record { inner, log: Vec::new() }
+    }
+
+    /// The schedule emitted so far.
+    pub fn log(&self) -> &[Pid] {
+        &self.log
+    }
+
+    /// Consumes the recorder, returning the schedule.
+    pub fn into_log(self) -> Vec<Pid> {
+        self.log
+    }
+}
+
+impl<S: Scheduler> Scheduler for Record<S> {
+    fn next(&mut self, ex: &Executor) -> Option<Pid> {
+        let p = self.inner.next(ex);
+        if let Some(p) = p {
+            self.log.push(p);
+        }
+        p
+    }
+}
+
 /// Adversarial wrapper: suppresses steps of chosen processes after chosen
 /// times (used to check wait-freedom — other C-processes stop, the rest must
 /// still decide).
@@ -415,6 +454,66 @@ mod tests {
         assert!(matches!(ex.status(Pid(0)), Status::Decided(_)));
         assert!(ex.status(Pid(1)).is_running());
         assert!(ex.steps(Pid(1)) <= 10);
+    }
+
+    #[test]
+    fn starve_at_step_zero_freezes_process_completely() {
+        let mut ex = exec(2, 50);
+        let rr = RoundRobin::over_all(&ex);
+        let mut s = Starve::new(rr, vec![(Pid(1), 0)]);
+        run_schedule(&mut ex, &mut s, &mut NullEnv, 10_000);
+        assert_eq!(ex.steps(Pid(1)), 0, "a pid stopped at time 0 must never step");
+        assert!(matches!(ex.status(Pid(0)), Status::Decided(_)));
+    }
+
+    #[test]
+    fn starving_an_already_stopped_pid_is_idempotent() {
+        // Duplicate stop entries (the second "stops" an already-stopped pid):
+        // the earliest time wins and nothing misbehaves.
+        let mut ex = exec(2, 50);
+        let rr = RoundRobin::over_all(&ex);
+        let mut s = Starve::new(rr, vec![(Pid(1), 5), (Pid(1), 200)]);
+        run_schedule(&mut ex, &mut s, &mut NullEnv, 10_000);
+        assert!(ex.steps(Pid(1)) <= 5);
+        assert!(matches!(ex.status(Pid(0)), Status::Decided(_)));
+    }
+
+    #[test]
+    fn stop_time_beyond_horizon_never_fires() {
+        // The run ends (everyone decides) long before the stop time: the
+        // Starve wrapper must be a no-op.
+        let mut ex = exec(2, 3);
+        let rr = RoundRobin::over_all(&ex);
+        let mut s = Starve::new(rr, vec![(Pid(0), u64::MAX), (Pid(1), 1_000_000)]);
+        let r = run_schedule(&mut ex, &mut s, &mut NullEnv, 10_000);
+        assert_eq!(r, StopReason::ScheduleEnded);
+        assert!(ex.quiescent());
+        assert!(ex.all_decided([Pid(0), Pid(1)]));
+    }
+
+    #[test]
+    fn starving_everyone_ends_the_run() {
+        // Only starved processes remain runnable: Starve's bounded retry
+        // gives up and the schedule ends instead of spinning.
+        let mut ex = exec(2, 50);
+        let rr = RoundRobin::over_all(&ex);
+        let mut s = Starve::new(rr, vec![(Pid(0), 0), (Pid(1), 0)]);
+        let r = run_schedule(&mut ex, &mut s, &mut NullEnv, 10_000);
+        assert_eq!(r, StopReason::ScheduleEnded);
+        assert_eq!(ex.steps(Pid(0)) + ex.steps(Pid(1)), 0);
+    }
+
+    #[test]
+    fn record_log_replays_to_the_same_state() {
+        let mut ex = exec(3, 7);
+        let mut rec = Record::new(RandomSched::over_all(&ex, 11));
+        run_schedule(&mut ex, &mut rec, &mut NullEnv, 10_000);
+        let log = rec.into_log();
+        assert!(!log.is_empty());
+        let mut replayed = exec(3, 7);
+        let mut replay = Replay::new(log);
+        run_schedule(&mut replayed, &mut replay, &mut NullEnv, u64::MAX);
+        assert_eq!(replayed.fingerprint(), ex.fingerprint());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 use std::collections::VecDeque;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -92,13 +93,24 @@ pub struct ExploreReport {
     pub undecided_cycle: Option<Vec<Pid>>,
     /// `true` iff exploration was truncated by limits.
     pub truncated: bool,
+    /// A panic the sweep caught (from the safety check or an automaton
+    /// step): the fingerprint of the state it fired at (the *parent* state
+    /// for step panics) plus the stringified payload. Aborted states are
+    /// terminal, so the rest of the space is still swept and the report
+    /// carries partial results instead of the process dying. When several
+    /// states panic, the `(fingerprint, payload)`-smallest is reported, so
+    /// the field is thread-count invariant.
+    pub aborted: Option<(u64, String)>,
 }
 
 impl ExploreReport {
-    /// `true` iff neither a violation nor an undecided cycle was found and
-    /// the exploration was exhaustive.
+    /// `true` iff neither a violation nor an undecided cycle was found, no
+    /// panic cut a subtree short, and the exploration was exhaustive.
     pub fn fully_verified(&self) -> bool {
-        self.violation.is_none() && self.undecided_cycle.is_none() && !self.truncated
+        self.violation.is_none()
+            && self.undecided_cycle.is_none()
+            && !self.truncated
+            && self.aborted.is_none()
     }
 }
 
@@ -191,6 +203,7 @@ impl<'a> Explorer<'a> {
             truncated: sweep.truncated,
             violation: None,
             undecided_cycle: None,
+            aborted: sweep.aborted,
         };
         if let Some(reason) = sweep.violation {
             report.violation = Some(
@@ -225,6 +238,7 @@ impl<'a> Explorer<'a> {
             states: AtomicU64::new(0),
             truncated: AtomicBool::new(false),
             violation: Mutex::new(None),
+            aborted: Mutex::new(None),
             frontier: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
             pending: AtomicUsize::new(0),
@@ -247,7 +261,17 @@ impl<'a> Explorer<'a> {
                 let handles: Vec<_> =
                     (0..threads).map(|_| scope.spawn(|| worker(&shared))).collect();
                 for h in handles {
-                    edge_sets.push(h.join().expect("explorer worker panicked"));
+                    match h.join() {
+                        Ok(edges) => edge_sets.push(edges),
+                        // Per-state panics are caught inside `expand`; a
+                        // worker dying anyway (e.g. an allocation failure)
+                        // still must not take the exploration down. Its
+                        // pending jobs are lost, so the sweep is partial.
+                        Err(payload) => {
+                            record_abort(&shared.aborted, 0, payload_string(payload.as_ref()));
+                            shared.truncated.store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
@@ -257,6 +281,7 @@ impl<'a> Explorer<'a> {
             states: shared.states.load(Ordering::Relaxed).min(self.limits.max_states),
             truncated: shared.truncated.load(Ordering::Relaxed),
             violation: shared.violation.into_inner().unwrap(),
+            aborted: shared.aborted.into_inner().unwrap(),
             cycle_exists: has_cycle(&edges),
         }
     }
@@ -305,7 +330,28 @@ struct SweepOutcome {
     states: u64,
     truncated: bool,
     violation: Option<String>,
+    aborted: Option<(u64, String)>,
     cycle_exists: bool,
+}
+
+/// Stringifies a `catch_unwind` payload (panics carry `&str` or `String`).
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Records a caught panic, keeping the `(fingerprint, payload)`-smallest so
+/// the reported abort is independent of which worker hit it first.
+fn record_abort(slot: &Mutex<Option<(u64, String)>>, fp: u64, payload: String) {
+    let mut a = slot.lock().unwrap();
+    if a.as_ref().is_none_or(|(afp, ap)| (fp, &payload) < (*afp, ap)) {
+        *a = Some((fp, payload));
+    }
 }
 
 /// State shared by the sweep workers.
@@ -318,6 +364,8 @@ struct Shared<'e, 'a> {
     /// Some violation reason observed during the sweep (used only as a
     /// fallback when the witness search is cut off by limits).
     violation: Mutex<Option<String>>,
+    /// The `(fingerprint, payload)`-smallest caught panic, if any.
+    aborted: Mutex<Option<(u64, String)>>,
     /// Global frontier that idle workers steal from (FIFO: shallow states
     /// first, which fan out fastest).
     frontier: Mutex<VecDeque<Job>>,
@@ -348,7 +396,16 @@ fn worker(shared: &Shared<'_, '_>) -> Vec<(u64, u64)> {
                 None => break,
             },
         };
-        expand(shared, job, &mut local, &mut edges, &mut scratch);
+        // Isolate the whole expansion: `expand` catches check/step panics
+        // itself with precise attribution, but whatever else unwinds must
+        // not skip the pending-count decrement below — a silently dead
+        // worker would leave the others waiting on the condvar forever.
+        let fp = job.fp;
+        if let Err(payload) =
+            catch_unwind(AssertUnwindSafe(|| expand(shared, job, &mut local, &mut edges, &mut scratch)))
+        {
+            record_abort(&shared.aborted, fp, payload_string(payload.as_ref()));
+        }
         if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             shared.work.notify_all();
         }
@@ -396,7 +453,14 @@ fn expand(
 ) {
     let explorer = shared.explorer;
     let Job { ex, fp, depth } = job;
-    if let Some(reason) = (explorer.check)(&ex) {
+    let verdict = match catch_unwind(AssertUnwindSafe(|| (explorer.check)(&ex))) {
+        Ok(v) => v,
+        Err(payload) => {
+            record_abort(&shared.aborted, fp, payload_string(payload.as_ref()));
+            return; // aborted states are terminal: the sweep continues around them
+        }
+    };
+    if let Some(reason) = verdict {
         let mut v = shared.violation.lock().unwrap();
         if v.is_none() {
             *v = Some(reason);
@@ -421,7 +485,14 @@ fn expand(
         } else {
             parent.as_ref().expect("parent alive until the last child").clone()
         };
-        child.step(pid, None);
+        // A panicking automaton step (a torn process, a buggy driver) is
+        // attributed to the parent state and only prunes this child.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            child.step(pid, None);
+        })) {
+            record_abort(&shared.aborted, fp, payload_string(payload.as_ref()));
+            continue;
+        }
         let child_fp = child.fingerprint();
         if !explorer.all_done(&child) {
             edges.push((fp, child_fp));
@@ -505,7 +576,14 @@ impl Seeker<'_, '_> {
             return;
         }
         let explorer = self.explorer;
-        if let Some(reason) = (explorer.check)(ex) {
+        // A panicking check marks this state aborted-terminal, exactly as in
+        // the sweep (which already recorded the abort); the witness search
+        // just treats it as a dead end.
+        let verdict = match catch_unwind(AssertUnwindSafe(|| (explorer.check)(ex))) {
+            Ok(v) => v,
+            Err(_) => return,
+        };
+        if let Some(reason) = verdict {
             if self.goal == Seek::Violation {
                 self.found_violation = Some((reason, self.schedule.clone()));
             }
@@ -535,7 +613,11 @@ impl Seeker<'_, '_> {
                 continue;
             }
             let mut child = ex.clone();
-            child.step(pid, None);
+            if catch_unwind(AssertUnwindSafe(|| {
+                child.step(pid, None);
+            })).is_err() {
+                continue; // pruned in the sweep too (abort already recorded)
+            }
             self.schedule.push(pid);
             self.dfs(&child);
             self.schedule.pop();
@@ -702,6 +784,74 @@ mod tests {
         let check = |_: &Executor| None;
         let report = explore_all(&ex, &check, Limits::default());
         assert!(report.undecided_cycle.is_none(), "{report:?}");
+    }
+
+    /// A safety check that panics when any process has decided — every
+    /// complete interleaving eventually trips it.
+    fn panicky_check(ex: &Executor) -> Option<String> {
+        if ex.pids().any(|p| ex.status(p).decision().is_some()) {
+            panic!("safety check exploded");
+        }
+        None
+    }
+
+    #[test]
+    fn panicking_check_aborts_partially_instead_of_crashing() {
+        let ex = two_counters(1);
+        let report = explore_all(&ex, &panicky_check, Limits::default());
+        let (fp, payload) = report.aborted.clone().expect("panic must be captured");
+        assert!(payload.contains("safety check exploded"), "{payload}");
+        assert!(fp != 0);
+        // Partial results survive: the non-decided part of the space was
+        // still swept.
+        assert!(report.states > 5, "{report:?}");
+        assert!(!report.fully_verified());
+    }
+
+    #[test]
+    fn aborted_is_thread_count_invariant() {
+        let ex = two_counters(2);
+        let base = Explorer::new(ex.pids().collect(), &panicky_check, Limits::default())
+            .threads(1)
+            .run(&ex);
+        assert!(base.aborted.is_some());
+        for threads in [2, 8] {
+            let r = Explorer::new(ex.pids().collect(), &panicky_check, Limits::default())
+                .threads(threads)
+                .run(&ex);
+            assert_eq!(r.aborted, base.aborted, "threads={threads}");
+            assert_eq!(r.states, base.states, "threads={threads}");
+        }
+    }
+
+    /// Steps fine `fuse` times, then panics: a torn automaton.
+    #[derive(Clone, Hash)]
+    struct Grenade {
+        fuse: u32,
+    }
+
+    impl Process for Grenade {
+        fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Status {
+            if self.fuse == 0 {
+                panic!("automaton tore");
+            }
+            self.fuse -= 1;
+            Status::Running
+        }
+    }
+
+    #[test]
+    fn panicking_step_is_attributed_to_the_parent_state() {
+        let mut ex = Executor::new();
+        ex.add_process(Box::new(RacyCounter { left: 1, val: 0, reading: true }));
+        ex.add_process(Box::new(Grenade { fuse: 2 }));
+        let check = |_: &Executor| None;
+        let report = explore_all(&ex, &check, Limits::default());
+        let (fp, payload) = report.aborted.clone().expect("step panic must be captured");
+        assert!(payload.contains("automaton tore"), "{payload}");
+        assert!(fp != 0);
+        // The counter's own interleavings were still explored.
+        assert!(report.states > 3, "{report:?}");
     }
 
     #[test]

@@ -179,6 +179,7 @@ pub fn refute_strong_2_renaming(
                         )),
                         undecided_cycle: None,
                         truncated: false,
+                        aborted: None,
                     },
                 };
             }

@@ -20,9 +20,12 @@
 //!   solver, the Theorem-7 lifting, and the Figure-1 ¬Ωk extraction.
 //! * [`modelcheck`] — bounded interleaving model checker and the Lemma-11
 //!   impossibility pipeline.
+//! * [`faults`] — adversarial fault injection: crash/FD-corruption/advice-delay
+//!   plans, bounded plan search, structured replayable violation reports.
 
 pub use wfa_algorithms as algorithms;
 pub use wfa_core as core;
+pub use wfa_faults as faults;
 pub use wfa_fd as fd;
 pub use wfa_kernel as kernel;
 pub use wfa_modelcheck as modelcheck;

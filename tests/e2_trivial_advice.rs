@@ -49,7 +49,10 @@ fn e2_wait_freedom_in_every_environment() {
                 &FdGen::trivial_from_pattern,
                 sf,
                 (n * 31 + max_crashes) as u64,
-            );
+            )
+            .unwrap_or_else(|v| {
+                panic!("trivial-advice ensemble (n={n}, t={max_crashes}) violated: {v:?}")
+            });
         }
     }
 }

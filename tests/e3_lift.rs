@@ -30,7 +30,8 @@ fn e3_lift_ensembles() {
             &|p, stab, seed| FdGen::vector_omega_k(p, k, stab, seed),
             sf,
             (n * 100 + k) as u64,
-        );
+        )
+        .unwrap_or_else(|v| panic!("lift ensemble (n={n}, k={k}) violated: {v:?}"));
     }
 }
 

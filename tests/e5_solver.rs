@@ -32,7 +32,8 @@ fn e5_k_set_agreement_ensembles() {
             &|p, stab, seed| FdGen::vector_omega_k(p, k, stab, seed),
             sf,
             (n * 1000 + k) as u64,
-        );
+        )
+        .unwrap_or_else(|v| panic!("k-set ensemble (n={n}, k={k}) violated: {v:?}"));
     }
 }
 
@@ -54,6 +55,7 @@ fn e5_renaming_ensembles() {
             &|p, stab, seed| FdGen::vector_omega_k(p, k, stab, seed),
             sf,
             (n * 7000 + k) as u64,
-        );
+        )
+        .unwrap_or_else(|v| panic!("renaming ensemble (n={n}, k={k}) violated: {v:?}"));
     }
 }
