@@ -19,6 +19,9 @@
 use wfa_kernel::process::{Process, Status, StepCtx};
 use wfa_kernel::value::Value;
 use wfa_objects::driver::{Driver, Step};
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::Counter;
+use wfa_obs::span::{seq, EventKind};
 
 use crate::boards::{self};
 use crate::consensus::{BallotAgent, BallotOutcome};
@@ -61,7 +64,11 @@ impl Process for SetAgreementC {
         self.next_poll = (self.next_poll + 1) % self.k;
         let raw = ctx.read(boards::decision_key(pos));
         match boards::read_decision(&raw) {
-            Some(v) => Status::Decided(v),
+            Some(v) => {
+                obs_local::bump(Counter::AdviceReads);
+                obs_local::event(seq::ADVICE, EventKind::AdviceRead);
+                Status::Decided(v)
+            }
             None => Status::Running,
         }
     }
@@ -160,7 +167,13 @@ impl Process for SetAgreementS {
         if let Step::Done(out) = agent.poll(ctx) {
             *slot = None;
             match out {
-                BallotOutcome::Decided(_) => self.decided[inst as usize] = true,
+                BallotOutcome::Decided(_) => {
+                    // The led instance decided: its decision register now
+                    // carries the advice every polling C-process returns.
+                    obs_local::bump(Counter::AdviceWrites);
+                    obs_local::event(seq::ADVICE, EventKind::AdviceWrite);
+                    self.decided[inst as usize] = true;
+                }
                 BallotOutcome::Aborted { higher } => {
                     self.rounds[inst as usize] =
                         BallotAgent::round_above(self.n_s, self.sidx, higher);
@@ -333,7 +346,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         use rand::Rng;
         for _ in 0..5 {
-            let seed = rng.gen();
+            let seed = rng.gen_range(0..u64::MAX);
             run_case(4, 3, seed, &[(2, 30)], vec![]);
         }
     }

@@ -11,6 +11,9 @@
 use wfa_kernel::memory::RegKey;
 use wfa_kernel::process::{Process, Status, StepCtx};
 use wfa_kernel::value::Value;
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::Counter;
+use wfa_obs::span::{seq, EventKind};
 
 use crate::boards::{self, ns};
 
@@ -50,6 +53,8 @@ impl Process for TrivialAdviceC {
         if v.is_unit() {
             Status::Running
         } else {
+            obs_local::bump(Counter::AdviceReads);
+            obs_local::event(seq::ADVICE, EventKind::AdviceRead);
             Status::Decided(v)
         }
     }
@@ -86,6 +91,8 @@ impl Process for TrivialAdviceS {
                 Status::Running
             }
             Some(v) => {
+                obs_local::bump(Counter::AdviceWrites);
+                obs_local::event(seq::ADVICE, EventKind::AdviceWrite);
                 ctx.write(v_key(), v.clone());
                 Status::Halted
             }

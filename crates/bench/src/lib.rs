@@ -16,6 +16,7 @@ use wfa::fd::detectors::FdGen;
 use wfa::fd::pattern::FailurePattern;
 use wfa::kernel::process::DynProcess;
 use wfa::kernel::value::Value;
+use wfa::obs::metrics::MetricsHandle;
 use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
 
 pub use wfa;
@@ -27,6 +28,17 @@ pub use wfa;
 ///
 /// Panics if some C-process fails to decide within the budget.
 pub fn run_ksa(n: usize, k: usize, stab: u64, seed: u64) -> u64 {
+    run_ksa_observed(n, k, stab, seed, &MetricsHandle::disabled())
+}
+
+/// [`run_ksa`] with metrics flowing into `obs` — the same driver the
+/// observability determinism suite pins exact counter values against, and
+/// the baseline for measuring the enabled-registry overhead.
+///
+/// # Panics
+///
+/// Panics if some C-process fails to decide within the budget.
+pub fn run_ksa_observed(n: usize, k: usize, stab: u64, seed: u64, obs: &MetricsHandle) -> u64 {
     let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
     let c: Vec<Box<dyn DynProcess>> = inputs
         .iter()
@@ -37,7 +49,7 @@ pub fn run_ksa(n: usize, k: usize, stab: u64, seed: u64) -> u64 {
         .map(|q| Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32)) as Box<dyn DynProcess>)
         .collect();
     let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k, stab, seed);
-    let mut run = EfdRun::new(c, s, fd);
+    let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
     let mut sched = run.fair_sched(seed ^ 0xb5);
     run.run_until_decided(&mut sched, 5_000_000)
         .expect("undecided C-processes in bench run")

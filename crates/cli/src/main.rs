@@ -9,6 +9,8 @@
 //! wfa-cli extract   --slots 600000 --stab 300         Figure-1 ¬Ω1 extraction
 //! wfa-cli faults sweep --scenario ksa --depth 2       adversarial fault sweep
 //! wfa-cli faults replay violation.json                re-execute a violation artifact
+//! wfa-cli obs summary --source figure2                deterministic metrics snapshot
+//! wfa-cli obs export --format chrome --out t.json     chrome://tracing export
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -29,10 +31,13 @@ use wfa::fd::pattern::FailurePattern;
 use wfa::fd::spec::check_anti_omega_k;
 use wfa::kernel::executor::Executor;
 use wfa::kernel::process::DynProcess;
-use wfa::kernel::sched::{run_schedule, KConcurrent, NullEnv, RandomSched, Scheduler};
+use wfa::kernel::sched::{run_schedule, KConcurrent, NullEnv, RandomSched, Replay, Scheduler};
 use wfa::kernel::value::{Pid, Value};
 use wfa::modelcheck::explorer::Limits;
-use wfa::modelcheck::lemma11::refute_strong_2_renaming;
+use wfa::modelcheck::lemma11::{refute_strong_2_renaming, BoxedAuto, ConsensusViaRenaming};
+use wfa::obs::json::Json;
+use wfa::obs::metrics::{MetricsHandle, Snapshot};
+use wfa::obs::span::timeline;
 use wfa::tasks::agreement::SetAgreement;
 use wfa::tasks::renaming::Renaming;
 use wfa::tasks::task::Task;
@@ -43,15 +48,20 @@ struct Args(HashMap<String, String>);
 impl Args {
     fn parse(raw: &[String]) -> Result<Args, String> {
         let mut map = HashMap::new();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(k) = it.next() {
             let Some(key) = k.strip_prefix("--") else {
                 return Err(format!("expected --key, got `{k}`"));
             };
-            let Some(v) = it.next() else {
-                return Err(format!("missing value for --{key}"));
+            // A key followed by another `--key` (or by nothing) is a bare
+            // boolean flag, e.g. `--json`.
+            let v = match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    it.next().expect("peeked value exists").clone()
+                }
+                _ => "true".to_string(),
             };
-            map.insert(key.to_string(), v.clone());
+            map.insert(key.to_string(), v);
         }
         Ok(Args(map))
     }
@@ -70,14 +80,19 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
     let stab: u64 = args.get("stab", 200)?;
     let seed: u64 = args.get("seed", 7)?;
     let crashes: usize = args.get("crashes", 1)?;
+    let as_json: bool = args.get("json", false)?;
     if k == 0 || k > n {
         return Err("need 1 ≤ k ≤ n".into());
     }
     let pattern = wfa::fd::environment::Environment::up_to(n, crashes.min(n - 1))
         .sample(seed, stab.max(1));
-    println!("pattern  : {pattern}");
+    if !as_json {
+        println!("pattern  : {pattern}");
+    }
     let fd = FdGen::vector_omega_k(pattern, k, stab, seed);
-    println!("detector : {} (stab {stab})", fd.name());
+    if !as_json {
+        println!("detector : {} (stab {stab})", fd.name());
+    }
     let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
     let c: Vec<Box<dyn DynProcess>> = inputs
         .iter()
@@ -89,7 +104,8 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
             Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32)) as Box<dyn DynProcess>
         })
         .collect();
-    let mut run = EfdRun::new(c, s, fd);
+    let obs = MetricsHandle::counters();
+    let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
     let mut sched = run.fair_sched(seed ^ 0xc11);
     let slots = run.run_until_decided(&mut sched, 5_000_000);
     let task = SetAgreement::new(n, k);
@@ -99,12 +115,38 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
         &inputs,
         wfa::kernel::sched::StopReason::ScheduleEnded,
     );
-    for (i, (inp, out)) in report.input.iter().zip(&report.output).enumerate() {
-        println!("C{i}: input={inp} output={out} ({} own steps)", report.c_steps[i]);
+    if as_json {
+        let obj = Json::Obj(vec![
+            ("command".into(), Json::Str("ksa".into())),
+            ("n".into(), Json::Num(n as u64)),
+            ("k".into(), Json::Num(k as u64)),
+            ("seed".into(), Json::Num(seed)),
+            ("decided".into(), Json::Bool(slots.is_some())),
+            ("slots".into(), Json::Num(slots.unwrap_or(0))),
+            (
+                "outputs".into(),
+                Json::Arr(report.output.iter().map(|v| Json::Str(v.to_string())).collect()),
+            ),
+            (
+                "verdict".into(),
+                Json::Str(match &report.verdict {
+                    Ok(()) => "ok".into(),
+                    Err(e) => e.to_string(),
+                }),
+            ),
+            ("metrics".into(), obs.snapshot().expect("metrics enabled").to_json()),
+        ]);
+        println!("{obj}");
+    } else {
+        for (i, (inp, out)) in report.input.iter().zip(&report.output).enumerate() {
+            println!("C{i}: input={inp} output={out} ({} own steps)", report.c_steps[i]);
+        }
     }
     match (&report.verdict, slots) {
         (Ok(()), Some(slots)) => {
-            println!("ok: all decided in {slots} slots, Δ satisfied");
+            if !as_json {
+                println!("ok: all decided in {slots} slots, Δ satisfied");
+            }
             Ok(())
         }
         (Err(e), _) => Err(format!("task violated: {e}")),
@@ -115,13 +157,15 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
 fn cmd_rename(args: &Args) -> Result<(), String> {
     let j: usize = args.get("j", 3)?;
     let seeds: u64 = args.get("seeds", 60)?;
+    let as_json: bool = args.get("json", false)?;
     let m = j + 1;
-    println!("(j = {j}) max observed name over {seeds} seeded k-concurrent ensembles:");
-    println!("{:>4} {:>8} {:>8}", "k", "bound", "observed");
+    let obs = MetricsHandle::counters();
+    let mut rows: Vec<(usize, usize, i64)> = Vec::new();
     for k in 1..=j {
         let mut max_name = 0i64;
         for seed in 0..seeds {
             let mut ex = Executor::new();
+            ex.set_metrics(obs.clone());
             let pids: Vec<Pid> =
                 (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
             let mut sched = KConcurrent::with_seed(pids.clone(), [], k, seed);
@@ -131,7 +175,36 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
                     max_name.max(ex.status(*p).decision().and_then(Value::as_int).unwrap_or(0));
             }
         }
-        println!("{:>4} {:>8} {:>8}", k, j + k - 1, max_name);
+        rows.push((k, j + k - 1, max_name));
+    }
+    if as_json {
+        let obj = Json::Obj(vec![
+            ("command".into(), Json::Str("rename".into())),
+            ("j".into(), Json::Num(j as u64)),
+            ("seeds".into(), Json::Num(seeds)),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|(k, bound, observed)| {
+                            Json::Obj(vec![
+                                ("k".into(), Json::Num(*k as u64)),
+                                ("bound".into(), Json::Num(*bound as u64)),
+                                ("observed".into(), Json::Num((*observed).max(0) as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics".into(), obs.snapshot().expect("metrics enabled").to_json()),
+        ]);
+        println!("{obj}");
+    } else {
+        println!("(j = {j}) max observed name over {seeds} seeded k-concurrent ensembles:");
+        println!("{:>4} {:>8} {:>8}", "k", "bound", "observed");
+        for (k, bound, observed) in &rows {
+            println!("{k:>4} {bound:>8} {observed:>8}");
+        }
     }
     Ok(())
 }
@@ -174,7 +247,29 @@ fn cmd_refute(_args: &Args) -> Result<(), String> {
     println!("states explored     : {}", r.report.states);
     match (&r.report.violation, &r.report.undecided_cycle) {
         (Some((reason, sched)), _) => {
-            println!("counterexample      : {reason} (schedule length {})", sched.len())
+            println!("counterexample      : {reason} (schedule length {})", sched.len());
+            // Replay the violating schedule under the observability layer
+            // and render it as a space-time timeline.
+            let (a, b) = r.colliding;
+            let obs = MetricsHandle::with_events(4096);
+            let mut ex = Executor::new();
+            ex.set_metrics(obs.clone());
+            ex.add_process(Box::new(ConsensusViaRenaming::new(
+                a,
+                b,
+                Value::Int(0),
+                BoxedAuto(cand(a)),
+            )));
+            ex.add_process(Box::new(ConsensusViaRenaming::new(
+                b,
+                a,
+                Value::Int(1),
+                BoxedAuto(cand(b)),
+            )));
+            let mut replay = Replay::new(sched.clone());
+            run_schedule(&mut ex, &mut replay, &mut NullEnv, 10_000);
+            println!("\nviolating schedule (r = read, w = write, s = snapshot, D = decide):");
+            println!("{}", timeline(&obs.events(), 2));
         }
         (None, Some(sched)) => {
             println!("counterexample      : forever-undecided cycle at depth {}", sched.len())
@@ -342,6 +437,178 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
     }
 }
 
+/// Runs one of the fixed-seed observability sources and returns its
+/// canonical snapshot plus the recorded event stream (empty for sources
+/// that only count).
+fn obs_source(
+    name: &str,
+    seed: u64,
+    threads: usize,
+) -> Result<(Snapshot, Vec<wfa::obs::span::ObsEvent>), String> {
+    use wfa::core::harness::Inert;
+    use wfa::core::sim::{KcsSimC, KcsSimS};
+    use wfa::core::solver::RenamingBuilder;
+    use wfa::modelcheck::explorer::Explorer;
+
+    match name {
+        // The Figure-2 simulation (Theorem 14 engine) at a small budget:
+        // n = 3 simulators drive k = 2 renaming codes under →Ω2.
+        "figure2" => {
+            let (n, k) = (3usize, 2usize);
+            let builder = RenamingBuilder { m: 4 };
+            let inputs: Vec<Value> = (0..n as i64).map(|i| Value::Int(1 + i)).collect();
+            let c: Vec<Box<dyn DynProcess>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Box::new(KcsSimC::new(i, n, n, k, k, v.clone(), builder))
+                        as Box<dyn DynProcess>
+                })
+                .collect();
+            let s: Vec<Box<dyn DynProcess>> = (0..n)
+                .map(|q| Box::new(KcsSimS::new(q, n, n, k, k, builder)) as Box<dyn DynProcess>)
+                .collect();
+            let _ = Inert; // non-participant automaton, unused at ℓ = n
+            let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k, 150, seed);
+            let obs = MetricsHandle::with_events(4096);
+            let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
+            let mut sched = run.fair_sched(seed ^ 0x14);
+            run.run(&mut sched, 20_000);
+            Ok((obs.snapshot().expect("metrics enabled"), obs.events()))
+        }
+        // A small fault sweep; the report's merged per-job snapshot.
+        "sweep" => {
+            use wfa::faults::prelude::{sweep, SweepConfig};
+            let mut config = SweepConfig::new("fragile-commit");
+            config.depth = 1;
+            config.seeds_per_plan = 2;
+            config.base_seed = seed;
+            config.shrink = false;
+            if threads > 0 {
+                config.threads = Some(threads);
+            }
+            Ok((sweep(&config).metrics, Vec::new()))
+        }
+        // An exhaustive interleaving exploration of two renaming automata.
+        "explore" => {
+            let mut ex = Executor::new();
+            let pids: Vec<Pid> =
+                (0..2).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, 4)))).collect();
+            let obs = MetricsHandle::counters();
+            let check = |_: &Executor| None;
+            Explorer::new(pids, &check, Limits::default())
+                .threads(threads)
+                .with_metrics(obs.clone())
+                .run(&ex);
+            Ok((obs.snapshot().expect("metrics enabled"), Vec::new()))
+        }
+        other => Err(format!("unknown source `{other}` (try: figure2, sweep, explore)")),
+    }
+}
+
+fn cmd_obs(argv: &[String]) -> Result<(), String> {
+    use wfa::obs::export::{to_chrome, to_jsonl};
+
+    const OBS_USAGE: &str = "USAGE: wfa-cli obs <summary|export|diff>\n\
+         \n\
+         obs summary [--source figure2|sweep|explore --seed S --threads T]\n\
+         \n\
+         \tRuns the fixed-seed source and prints its canonical counter and\n\
+         \thistogram snapshot. The snapshot only carries thread-count\n\
+         \tinvariant metrics, so it is identical for every --threads value.\n\
+         \n\
+         obs export --format jsonl|chrome [--source NAME --seed S --threads T --out FILE]\n\
+         \n\
+         \tExports the source's canonical snapshot and stable-keyed event\n\
+         \tstream: `jsonl` (snapshot first, then one event per line) or\n\
+         \t`chrome` (chrome://tracing / Perfetto trace_event JSON).\n\
+         \tWrites to stdout unless --out is given.\n\
+         \n\
+         obs diff A B\n\
+         \n\
+         \tDiffs two snapshot files (plain JSON or JSONL exports; the first\n\
+         \tline is read). Exits non-zero when any counter differs.";
+
+    match argv.first().map(String::as_str) {
+        Some("summary") => {
+            let args = Args::parse(&argv[1..])?;
+            let source = args.get("source", "figure2".to_string())?;
+            let seed: u64 = args.get("seed", 7)?;
+            let threads: usize = args.get("threads", 0)?;
+            let (snap, events) = obs_source(&source, seed, threads)?;
+            println!("[{source}] canonical metrics snapshot (seed {seed}):");
+            for (name, v) in &snap.counters {
+                if *v > 0 {
+                    println!("  {name:<24} {v}");
+                }
+            }
+            for (name, buckets) in &snap.hists {
+                if !buckets.is_empty() {
+                    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+                    println!("  {name:<24} {total} obs over {} log2 buckets", buckets.len());
+                }
+            }
+            if !events.is_empty() {
+                println!("  {:<24} {}", "events", events.len());
+            }
+            Ok(())
+        }
+        Some("export") => {
+            let args = Args::parse(&argv[1..])?;
+            let format = args.get("format", "jsonl".to_string())?;
+            let source = args.get("source", "figure2".to_string())?;
+            let seed: u64 = args.get("seed", 7)?;
+            let threads: usize = args.get("threads", 0)?;
+            let (snap, events) = obs_source(&source, seed, threads)?;
+            let text = match format.as_str() {
+                "jsonl" => to_jsonl(&snap, &events),
+                "chrome" => to_chrome(&events),
+                other => return Err(format!("unknown format `{other}` (try: jsonl, chrome)")),
+            };
+            match args.0.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("{format} export ({} bytes) written to {path}", text.len());
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (argv.get(1), argv.get(2)) else {
+                return Err(format!("obs diff needs two file operands\n\n{OBS_USAGE}"));
+            };
+            let load = |path: &String| -> Result<Snapshot, String> {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let first = text.lines().next().unwrap_or("");
+                let json =
+                    Json::parse(first).map_err(|e| format!("parsing {path}: {e}"))?;
+                // Accept a bare snapshot or any object embedding one under
+                // `metrics` (the `ksa --json` / `rename --json` shape).
+                let snap_json = json.get("metrics").unwrap_or(&json);
+                Snapshot::from_json(snap_json).map_err(|e| format!("{path}: {e}"))
+            };
+            let (sa, sb) = (load(a)?, load(b)?);
+            let diff = sa.diff(&sb);
+            if diff.is_empty() {
+                println!("snapshots agree on all {} counters", sa.counters.len());
+                Ok(())
+            } else {
+                for (name, va, vb) in &diff {
+                    println!("{name:<24} {va:>12} {vb:>12}");
+                }
+                Err(format!("{} counter(s) differ", diff.len()))
+            }
+        }
+        Some("help") | None => {
+            println!("{OBS_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown obs subcommand `{other}`\n\n{OBS_USAGE}")),
+    }
+}
+
 fn usage() -> &'static str {
     "wfa-cli — Wait-Freedom with Advice, runnable\n\
      \n\
@@ -354,7 +621,11 @@ fn usage() -> &'static str {
        refute     Lemma-11 pipeline\n\
        extract    Figure-1 extraction   (--slots --stab --seed)\n\
        faults     adversarial fault injection (sweep | replay | list)\n\
-       help       this text"
+       obs        observability         (summary | export | diff)\n\
+       help       this text\n\
+     \n\
+     `ksa` and `rename` accept --json for a machine-readable report with\n\
+     the canonical metrics snapshot attached."
 }
 
 fn main() -> ExitCode {
@@ -363,10 +634,12 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    // `faults` has sub-commands and positional operands, so it parses its own
-    // argument list instead of going through the global --key value parser.
-    if cmd == "faults" {
-        return match cmd_faults(&argv[1..]) {
+    // `faults` and `obs` have sub-commands and positional operands, so they
+    // parse their own argument lists instead of going through the global
+    // --key value parser.
+    if cmd == "faults" || cmd == "obs" {
+        let run = if cmd == "faults" { cmd_faults } else { cmd_obs };
+        return match run(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

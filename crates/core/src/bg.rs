@@ -24,6 +24,8 @@ use wfa_kernel::process::{Process, Status, StepCtx};
 use wfa_kernel::value::Value;
 use wfa_objects::driver::{Driver, Step};
 use wfa_objects::safe_agreement::{SaPropose, SaResolve};
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::Counter;
 
 use crate::code::SnapshotCode;
 
@@ -173,6 +175,7 @@ impl<C: SnapshotCode> BgSim<C> {
 
     /// Applies an agreed snapshot for `code` (deterministic replay).
     fn apply(&mut self, code: usize, agreed: Value) {
+        obs_local::bump(Counter::SimulatedSteps);
         let view: Vec<Value> = agreed
             .as_tuple()
             .expect("agreed value is a view tuple")
@@ -246,6 +249,7 @@ impl<C: SnapshotCode + Clone + std::hash::Hash + 'static> Process for BgSim<C> {
             Activity::Resolve { code, mut sa } => {
                 match sa.poll(ctx) {
                     Step::Done(agreed) => {
+                        obs_local::bump(Counter::SafeAgreementRounds);
                         self.apply(code, agreed);
                         self.activity = Activity::WriteBoard { code };
                     }

@@ -26,6 +26,8 @@ use rand::{Rng, SeedableRng};
 
 use wfa_fd::detectors::{FdGen, FdSource};
 use wfa_kernel::executor::Executor;
+use wfa_obs::metrics::{Counter, MetricsHandle};
+use wfa_obs::span::{seq, EventKind, ObsEvent};
 use wfa_kernel::process::DynProcess;
 use wfa_kernel::sched::{run_schedule, RandomSched, Scheduler, Starve, StepEnv, StopReason};
 use wfa_kernel::value::{Pid, Value};
@@ -75,11 +77,21 @@ impl Roles {
 struct EfdEnv<'a, F: FdSource> {
     fd: &'a mut F,
     roles: Roles,
+    obs: MetricsHandle,
 }
 
 impl<F: FdSource> StepEnv for EfdEnv<'_, F> {
     fn fd_output(&mut self, pid: Pid, now: u64) -> Option<Value> {
-        self.roles.sidx(pid).map(|q| self.fd.output(q, now))
+        self.roles.sidx(pid).map(|q| {
+            self.obs.bump(Counter::FdQueries);
+            self.obs.record(ObsEvent {
+                time: now,
+                pid: pid.0 as u32,
+                seq: seq::FD_QUERY,
+                kind: EventKind::FdQuery,
+            });
+            self.fd.output(q, now)
+        })
     }
 
     fn is_alive(&mut self, pid: Pid, now: u64) -> bool {
@@ -127,9 +139,23 @@ impl<F: FdSource> EfdRun<F> {
         EfdRun { executor, roles, fd }
     }
 
+    /// Attaches an observability handle: every subsequent step, FD query and
+    /// crash skip is recorded into it (builder-style, for assembly sites).
+    pub fn with_metrics(mut self, obs: MetricsHandle) -> EfdRun<F> {
+        self.executor.set_metrics(obs);
+        self
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`EfdRun::with_metrics`] was used).
+    pub fn metrics(&self) -> &MetricsHandle {
+        self.executor.metrics()
+    }
+
     /// Executes under `sched` for at most `budget` schedule slots.
     pub fn run(&mut self, sched: &mut dyn Scheduler, budget: u64) -> StopReason {
-        let mut env = EfdEnv { fd: &mut self.fd, roles: self.roles };
+        let obs = self.executor.metrics().clone();
+        let mut env = EfdEnv { fd: &mut self.fd, roles: self.roles, obs };
         run_schedule(&mut self.executor, sched, &mut env, budget)
     }
 

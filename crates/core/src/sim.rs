@@ -41,6 +41,8 @@ use wfa_kernel::memory::RegKey;
 use wfa_kernel::process::{Process, Status, StepCtx};
 use wfa_kernel::value::Value;
 use wfa_objects::driver::{Driver, Step};
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::Counter;
 
 use crate::code::{encode_write, CodeBuilder, SnapshotCode};
 
@@ -101,6 +103,7 @@ impl<B: CodeBuilder> Replica<B> {
     /// Applies the agreed view for `code`'s next round. A pure function of
     /// the agreed value: the view fixes both the snapshot and the inputs.
     fn apply(&mut self, code: usize, agreed: &Value) {
+        obs_local::bump(Counter::SimulatedSteps);
         let mut states = agreed.get(0).and_then(Value::as_tuple).expect("view states").to_vec();
         let inputs = agreed.get(1).and_then(Value::as_tuple).expect("view inputs").to_vec();
         if let Some(env) = agreed.get(2) {
@@ -340,10 +343,12 @@ impl<B: CodeBuilder> EngineCore<B> {
                 }
                 match agent.poll(ctx) {
                     Step::Done(BallotOutcome::Decided(agreed)) => {
+                        obs_local::bump(Counter::ConsensusRounds);
                         self.replica.apply(code, &agreed);
                         self.activity = Some(Activity::WriteBoard { code });
                     }
                     Step::Done(BallotOutcome::Aborted { higher }) => {
+                        obs_local::bump(Counter::ConsensusAborts);
                         self.ballot_rounds[code] =
                             BallotAgent::round_above(self.n_parties, self.party, higher);
                     }

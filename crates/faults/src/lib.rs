@@ -23,13 +23,16 @@
 //! a sweep never dies half way.
 
 pub mod fdwrap;
-pub mod json;
 pub mod plan;
 pub mod run;
 pub mod scenario;
 pub mod shrink;
 pub mod sweep;
 pub mod violation;
+
+/// The canonical JSON encoder, hoisted into `wfa-obs` (re-exported here so
+/// `wfa_faults::json::Json` keeps working).
+pub use wfa_obs::json;
 
 /// Everything a fault-sweep caller usually needs.
 pub mod prelude {

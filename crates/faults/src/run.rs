@@ -17,6 +17,7 @@ use wfa_core::harness::{EfdRun, RunReport};
 use wfa_fd::pattern::FailurePattern;
 use wfa_kernel::sched::{Record, Replay, Starve};
 use wfa_kernel::value::Pid;
+use wfa_obs::metrics::{HistKind, MetricsHandle};
 
 use crate::fdwrap::FaultyFdGen;
 use crate::plan::FaultPlan;
@@ -76,7 +77,20 @@ pub fn build_run(
 /// with the plan's `Starve` stops, records the schedule, and checks safety
 /// always and wait-freedom when the plan is eventually clean.
 pub fn run_plan(sc: &Scenario, plan: &FaultPlan, seed: u64) -> PlanOutcome {
-    let (mut run, input) = build_run(sc, plan, seed);
+    run_plan_observed(sc, plan, seed, &MetricsHandle::disabled())
+}
+
+/// [`run_plan`] with observability: kernel and harness counters flow into
+/// `obs` through the run's executor, and the recorded schedule length is
+/// observed into the `plan_cost` histogram.
+pub fn run_plan_observed(
+    sc: &Scenario,
+    plan: &FaultPlan,
+    seed: u64,
+    obs: &MetricsHandle,
+) -> PlanOutcome {
+    let (run, input) = build_run(sc, plan, seed);
+    let mut run = run.with_metrics(obs.clone());
     let stops: Vec<(Pid, u64)> = plan.stops.iter().map(|(i, t)| (run.roles.c(*i), *t)).collect();
     let base = run.fair_sched(seed ^ 0xdead);
     let mut sched = Record::new(Starve::new(base, stops));
@@ -105,6 +119,7 @@ pub fn run_plan(sc: &Scenario, plan: &FaultPlan, seed: u64) -> PlanOutcome {
     }
     let report = RunReport::evaluate(&run, sc.task.as_ref(), &input, stop);
     let schedule = sched.into_log();
+    obs.observe(HistKind::PlanCost, schedule.len() as u64);
 
     let mut violations = Vec::new();
     let mk = |kind: ViolationKind| Violation {

@@ -18,9 +18,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use wfa_obs::metrics::{Counter, MetricsHandle, Snapshot};
+
 use crate::json::Json;
 use crate::plan::FaultPlan;
-use crate::run::{payload_string, run_plan};
+use crate::run::{payload_string, run_plan_observed};
 use crate::scenario::Scenario;
 use crate::shrink::shrink;
 use crate::violation::{Violation, ViolationKind};
@@ -201,6 +203,13 @@ pub struct SweepReport {
     /// All violations, in job order (shrunk if configured); panics appear
     /// here as [`ViolationKind::Panic`] entries.
     pub violations: Vec<Violation>,
+    /// The canonical metrics snapshot: each job records into its own
+    /// registry (shard-per-job, no cross-thread contention) and the
+    /// per-job snapshots are merged in job-index order, so the result is
+    /// worker-count invariant. Not part of [`SweepReport::to_json`], whose
+    /// byte format predates the observability layer; export it through
+    /// [`Snapshot::to_json`] instead.
+    pub metrics: Snapshot,
 }
 
 impl SweepReport {
@@ -252,8 +261,11 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
         .map(|(idx, (_pi, plan, _s))| (idx, plan, job_seed(config.base_seed, idx)))
         .collect();
 
+    // What a finished job deposits in its index slot: the violations it
+    // found plus its private registry's snapshot.
+    type JobResult = (Vec<Violation>, Snapshot);
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Vec<Violation>>>> = Mutex::new(vec![None; jobs.len()]);
+    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
     let workers = config.resolved_threads().min(jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -262,11 +274,15 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                 let Some((idx, plan, seed)) = jobs.get(i).copied() else {
                     return;
                 };
+                // One registry per job, created outside `catch_unwind`: a
+                // panicking run still reports the counters it reached (the
+                // same prefix on every re-execution, so still deterministic).
+                let obs = MetricsHandle::counters();
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let mut vs = run_plan(&sc, plan, seed).violations;
+                    let mut vs = run_plan_observed(&sc, plan, seed, &obs).violations;
                     if config.shrink {
                         for v in &mut vs {
-                            shrink(v);
+                            obs.add(Counter::ShrinkReplays, shrink(v) as u64);
                         }
                     }
                     vs
@@ -281,18 +297,22 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                         original_len: 0,
                     }]
                 });
-                slots.lock().expect("slot lock")[idx] = Some(vs);
+                obs.bump(Counter::SweepJobs);
+                obs.add(Counter::SweepViolations, vs.len() as u64);
+                let snap = obs.snapshot().expect("job registry is enabled");
+                slots.lock().expect("slot lock")[idx] = Some((vs, snap));
             });
         }
     });
 
-    let violations = slots
-        .into_inner()
-        .expect("slot lock")
-        .into_iter()
-        .flat_map(|s| s.expect("every job filled its slot"))
-        .collect();
-    SweepReport { scenario: sc.name, plans: plans.len(), runs: jobs.len(), violations }
+    let mut metrics = Snapshot::default();
+    let mut violations = Vec::new();
+    for slot in slots.into_inner().expect("slot lock") {
+        let (vs, snap) = slot.expect("every job filled its slot");
+        violations.extend(vs);
+        metrics.merge(&snap);
+    }
+    SweepReport { scenario: sc.name, plans: plans.len(), runs: jobs.len(), violations, metrics }
 }
 
 #[cfg(test)]
@@ -338,11 +358,21 @@ mod tests {
         config.seeds_per_plan = 2;
         config.shrink = false; // keep the test fast; shrinking is deterministic anyway
         config.threads = Some(1);
-        let serial = sweep(&config).to_json().to_string();
+        let serial = sweep(&config);
         config.threads = Some(8);
-        let parallel = sweep(&config).to_json().to_string();
-        assert_eq!(serial, parallel);
-        assert!(!serial.is_empty());
+        let parallel = sweep(&config);
+        assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
+        // The merged metrics snapshot is part of the determinism contract.
+        assert_eq!(
+            serial.metrics.to_json().to_string(),
+            parallel.metrics.to_json().to_string()
+        );
+        assert_eq!(serial.metrics.counter("sweep_jobs"), Some(serial.runs as u64));
+        assert_eq!(
+            serial.metrics.counter("sweep_violations"),
+            Some(serial.violations.len() as u64)
+        );
+        assert!(serial.metrics.counter("schedule_slots").unwrap_or(0) > 0);
     }
 
     #[test]

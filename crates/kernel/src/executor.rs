@@ -18,6 +18,10 @@
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use wfa_obs::metrics::{Counter, MetricsHandle};
+use wfa_obs::span::{seq, EventKind, ObsEvent, Op};
+use wfa_obs::{local as obs_local};
+
 use crate::memory::SharedMemory;
 use crate::process::{DynProcess, Status, StepCtx};
 use crate::trace::{Trace, TraceEvent};
@@ -92,6 +96,10 @@ pub struct Executor {
     procs_fp: u64,
     clock: u64,
     trace: Option<Trace>,
+    /// Observability sink; the default (disabled) handle costs one branch
+    /// per step. Excluded from [`Executor::fingerprint`] — metrics are an
+    /// observer, not run state.
+    obs: MetricsHandle,
 }
 
 impl Executor {
@@ -167,6 +175,7 @@ impl Executor {
     pub fn step(&mut self, pid: Pid, fd: Option<&Value>) -> &Status {
         let now = self.clock;
         self.clock += 1;
+        let obs = self.obs.clone();
         let slot = &mut self.slots[pid.0];
         if slot.status.is_running() {
             slot.steps += 1;
@@ -177,18 +186,43 @@ impl Executor {
             }
             let proc = Arc::get_mut(&mut slot.proc).expect("uniquely owned after copy-on-write");
             let mut ctx = StepCtx::new(&mut self.mem, fd, now, pid, 1);
-            slot.status = proc.step(&mut ctx);
+            slot.status = if obs.is_enabled() {
+                // Install the recording context so automata (which cannot
+                // hold a handle — they must stay `Clone + Hash`) can record
+                // advice/simulation events through `wfa_obs::local`.
+                let _guard = obs_local::enter(&obs, now, pid.0 as u32);
+                proc.step(&mut ctx)
+            } else {
+                proc.step(&mut ctx)
+            };
             self.procs_fp ^= slot.fp;
             slot.fp = slot_fp(pid.0, &slot.status, &*slot.proc);
             self.procs_fp ^= slot.fp;
+            let decided = matches!(slot.status, Status::Decided(_));
             if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent {
+                trace.push(TraceEvent { time: now, pid, op: ctx.last_op(), decided });
+            }
+            if obs.is_enabled() {
+                let op = Op::from(ctx.last_op());
+                obs.bump(Counter::EffectiveSteps);
+                obs.bump(match op {
+                    Op::None => Counter::OpNone,
+                    Op::Read { .. } => Counter::OpReads,
+                    Op::Write { .. } => Counter::OpWrites,
+                    Op::Snapshot(_) => Counter::OpSnapshots,
+                });
+                if decided {
+                    obs.bump(Counter::Decisions);
+                }
+                obs.record(ObsEvent {
                     time: now,
-                    pid,
-                    op: ctx.last_op(),
-                    decided: matches!(slot.status, Status::Decided(_)),
+                    pid: pid.0 as u32,
+                    seq: seq::STEP,
+                    kind: EventKind::Step { op, decided },
                 });
             }
+        } else {
+            obs.bump(Counter::NullSteps);
         }
         &self.slots[pid.0].status
     }
@@ -201,6 +235,17 @@ impl Executor {
     /// The recorded trace, if tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attaches an observability handle; every subsequent step records
+    /// counters (and events, when the handle retains them) into it.
+    pub fn set_metrics(&mut self, obs: MetricsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.obs
     }
 
     /// `true` iff every process in `among` has decided.

@@ -10,6 +10,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use wfa_obs::metrics::Counter;
+use wfa_obs::span::{seq, EventKind, ObsEvent};
+
 use crate::executor::Executor;
 use crate::value::{Pid, Value};
 
@@ -321,12 +324,21 @@ pub fn run_schedule(
     env: &mut dyn StepEnv,
     budget: u64,
 ) -> StopReason {
+    let obs = ex.metrics().clone();
     for _ in 0..budget {
         let Some(pid) = sched.next(ex) else {
             return StopReason::ScheduleEnded;
         };
+        obs.bump(Counter::ScheduleSlots);
         let now = ex.clock();
         if !env.is_alive(pid, now) {
+            obs.bump(Counter::CrashSkips);
+            obs.record(ObsEvent {
+                time: now,
+                pid: pid.0 as u32,
+                seq: seq::STEP,
+                kind: EventKind::CrashSkip,
+            });
             continue;
         }
         let fd = env.fd_output(pid, now);

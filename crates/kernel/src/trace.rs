@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use wfa_obs::span::Op;
+
 use crate::memory::RegKey;
 use crate::value::Pid;
 
@@ -26,14 +28,24 @@ pub enum OpKind {
     Snapshot(u16),
 }
 
+/// Projects the op onto the observability layer's display type (dropping
+/// the register key's trailing index coordinates, which the rendering never
+/// showed).
+impl From<OpKind> for Op {
+    fn from(op: OpKind) -> Op {
+        match op {
+            OpKind::None => Op::None,
+            OpKind::Read(k) => Op::Read { ns: k.ns, a: k.ix[0], b: k.ix[1] },
+            OpKind::Write(k) => Op::Write { ns: k.ns, a: k.ix[0], b: k.ix[1] },
+            OpKind::Snapshot(n) => Op::Snapshot(n),
+        }
+    }
+}
+
+/// Delegates to [`Op`] — the single step formatter in the tree.
 impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OpKind::None => write!(f, "·"),
-            OpKind::Read(k) => write!(f, "r[{}:{},{}]", k.ns, k.ix[0], k.ix[1]),
-            OpKind::Write(k) => write!(f, "w[{}:{},{}]", k.ns, k.ix[0], k.ix[1]),
-            OpKind::Snapshot(n) => write!(f, "s[{n}]"),
-        }
+        Op::from(*self).fmt(f)
     }
 }
 
@@ -95,16 +107,7 @@ impl Trace {
         for ev in &self.events {
             for (i, row) in rows.iter_mut().enumerate() {
                 if i == ev.pid.0 {
-                    row.push(if ev.decided {
-                        'D'
-                    } else {
-                        match ev.op {
-                            OpKind::None => '·',
-                            OpKind::Read(_) => 'r',
-                            OpKind::Write(_) => 'w',
-                            OpKind::Snapshot(_) => 's',
-                        }
-                    });
+                    row.push(if ev.decided { 'D' } else { Op::from(ev.op).glyph() });
                 } else {
                     row.push(' ');
                 }

@@ -51,6 +51,7 @@ use std::sync::{Condvar, Mutex};
 
 use wfa_kernel::executor::Executor;
 use wfa_kernel::value::Pid;
+use wfa_obs::metrics::{Counter, HistKind, MetricsHandle};
 
 /// Pass-through hasher for keys that are already fingerprints: run
 /// fingerprints come out of a hash function, so feeding them through SipHash
@@ -162,6 +163,7 @@ pub struct Explorer<'a> {
     limits: Limits,
     enabled: Option<&'a EnabledFilter<'a>>,
     threads: usize,
+    metrics: MetricsHandle,
 }
 
 impl<'a> Explorer<'a> {
@@ -169,7 +171,23 @@ impl<'a> Explorer<'a> {
     ///
     /// Uses all available cores by default; see [`Explorer::threads`].
     pub fn new(pids: Vec<Pid>, check: &'a SafetyCheck<'a>, limits: Limits) -> Explorer<'a> {
-        Explorer { pids, check, limits, enabled: None, threads: 0 }
+        Explorer {
+            pids,
+            check,
+            limits,
+            enabled: None,
+            threads: 0,
+            metrics: MetricsHandle::disabled(),
+        }
+    }
+
+    /// Publishes exploration counters into `metrics`: states visited, dedupe
+    /// hits (both deterministic on non-truncated sweeps), steals and the
+    /// shard-depth histogram (scheduling-dependent — excluded from canonical
+    /// snapshots).
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Explorer<'a> {
+        self.metrics = metrics;
+        self
     }
 
     /// Restricts exploration to schedules allowed by `filter` (e.g.
@@ -236,6 +254,8 @@ impl<'a> Explorer<'a> {
             explorer: self,
             shards: (0..VISITED_SHARDS).map(|_| Mutex::new(FpSet::default())).collect(),
             states: AtomicU64::new(0),
+            dedupe: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             truncated: AtomicBool::new(false),
             violation: Mutex::new(None),
             aborted: Mutex::new(None),
@@ -277,8 +297,12 @@ impl<'a> Explorer<'a> {
         }
 
         let edges: Vec<(u64, u64)> = edge_sets.into_iter().flatten().collect();
+        let states = shared.states.load(Ordering::Relaxed).min(self.limits.max_states);
+        self.metrics.add(Counter::ExplorerStates, states);
+        self.metrics.add(Counter::ExplorerDedupeHits, shared.dedupe.load(Ordering::Relaxed));
+        self.metrics.add(Counter::ExplorerSteals, shared.steals.load(Ordering::Relaxed));
         SweepOutcome {
-            states: shared.states.load(Ordering::Relaxed).min(self.limits.max_states),
+            states,
             truncated: shared.truncated.load(Ordering::Relaxed),
             violation: shared.violation.into_inner().unwrap(),
             aborted: shared.aborted.into_inner().unwrap(),
@@ -360,6 +384,12 @@ struct Shared<'e, 'a> {
     /// Lock-striped visited set, keyed by fingerprint.
     shards: Vec<Mutex<FpSet>>,
     states: AtomicU64,
+    /// Visited-set probes that found the fingerprint already present. Each
+    /// reachable edge probes exactly once, so on non-truncated sweeps this
+    /// equals `edges - (states - 1)` regardless of thread count.
+    dedupe: AtomicU64,
+    /// Successful pops from the global frontier — scheduling-dependent.
+    steals: AtomicU64,
     truncated: AtomicBool,
     /// Some violation reason observed during the sweep (used only as a
     /// fallback when the witness search is cut off by limits).
@@ -418,6 +448,7 @@ fn steal(shared: &Shared<'_, '_>) -> Option<Job> {
     let mut frontier = shared.frontier.lock().unwrap();
     loop {
         if let Some(job) = frontier.pop_front() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         if shared.pending.load(Ordering::Acquire) == 0 {
@@ -453,6 +484,7 @@ fn expand(
 ) {
     let explorer = shared.explorer;
     let Job { ex, fp, depth } = job;
+    explorer.metrics.observe(HistKind::ShardDepth, depth as u64);
     let verdict = match catch_unwind(AssertUnwindSafe(|| (explorer.check)(&ex))) {
         Ok(v) => v,
         Err(payload) => {
@@ -505,6 +537,8 @@ fn expand(
             }
             shared.pending.fetch_add(1, Ordering::AcqRel);
             local.push(Job { ex: child, fp: child_fp, depth: depth + 1 });
+        } else {
+            shared.dedupe.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -852,6 +886,26 @@ mod tests {
         assert!(fp != 0);
         // The counter's own interleavings were still explored.
         assert!(report.states > 3, "{report:?}");
+    }
+
+    #[test]
+    fn canonical_metrics_are_thread_count_invariant() {
+        let ex = two_counters(2);
+        let check = |_: &Executor| None;
+        let mut snaps = Vec::new();
+        for threads in [1usize, 4] {
+            let m = MetricsHandle::counters();
+            Explorer::new(ex.pids().collect(), &check, Limits::default())
+                .threads(threads)
+                .with_metrics(m.clone())
+                .run(&ex);
+            snaps.push(m.snapshot().expect("enabled handle snapshots"));
+        }
+        // The canonical snapshot strips steals and shard depths, so it must
+        // not depend on the worker count.
+        assert_eq!(snaps[0].to_json().to_string(), snaps[1].to_json().to_string());
+        assert!(snaps[0].counter("explorer_states").unwrap_or(0) > 10, "{:?}", snaps[0]);
+        assert!(snaps[0].counter("explorer_dedupe_hits").unwrap_or(0) > 0, "{:?}", snaps[0]);
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! A minimal JSON encoder/decoder for violation artifacts.
+//! The canonical JSON encoder/decoder shared by the whole workspace.
 //!
 //! The build environment vendors no serialization crates, and the artifacts
-//! this crate exchanges (fault plans, violations, sweep reports) are small
-//! and of a known shape — so a ~200-line JSON subset is the honest cost of
-//! replayable reports. Numbers are unsigned 64-bit (all quantities here are
-//! counters, times or seeds); floats are not supported.
+//! the workspace exchanges (fault plans, violations, sweep reports, metrics
+//! snapshots, trace exports) are small and of a known shape — so a ~200-line
+//! JSON subset is the honest cost of replayable reports. Numbers are
+//! unsigned 64-bit (all quantities here are counters, times or seeds);
+//! floats are not supported.
+//!
+//! This is the *only* canonical encoder in the tree: `wfa-faults` re-exports
+//! this module, and every byte-compared report (fault sweeps, metrics
+//! snapshots, Chrome traces) serializes through [`Json`]'s whitespace-free
+//! `Display`.
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,116 @@
+//! Thread-local recording context for instrumenting deep call sites.
+//!
+//! The kernel's `DynProcess` blanket impl requires automata to be
+//! `Clone + Hash`, so a process cannot hold a [`MetricsHandle`] as a field
+//! (handles are identity objects — hashing one would poison state
+//! fingerprints). Instead the executor *installs* the current handle, time
+//! and pid into a thread-local just around each `proc.step(..)` call (the
+//! tracing-dispatcher pattern), and deep sites — advice automata, simulation
+//! engines — record through the free functions here without any plumbing.
+//!
+//! Determinism: the installed `(time, pid)` pair is the run's logical clock,
+//! so events recorded through this module carry the same stable ordering key
+//! they would with explicit plumbing. When no context is installed (the
+//! executor ran without metrics, or code runs outside a step), every call is
+//! a no-op.
+
+use std::cell::RefCell;
+
+use crate::metrics::{Counter, MetricsHandle};
+use crate::span::{EventKind, ObsEvent};
+
+struct LocalCtx {
+    handle: MetricsHandle,
+    time: u64,
+    pid: u32,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<LocalCtx>> = const { RefCell::new(None) };
+}
+
+/// Installs `(handle, time, pid)` as the thread's recording context for the
+/// lifetime of the returned guard. Nested installs stack: dropping the guard
+/// restores whatever was installed before.
+///
+/// Call this only with an enabled handle — installing a disabled one works
+/// but wastes the thread-local store/restore.
+pub fn enter(handle: &MetricsHandle, time: u64, pid: u32) -> StepGuard {
+    let prev = CURRENT.with(|c| {
+        c.borrow_mut().replace(LocalCtx { handle: handle.clone(), time, pid })
+    });
+    StepGuard { prev }
+}
+
+/// Restores the previous recording context on drop.
+pub struct StepGuard {
+    prev: Option<LocalCtx>,
+}
+
+impl Drop for StepGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Adds 1 to `counter` in the installed context (no-op when none).
+pub fn bump(counter: Counter) {
+    add(counter, 1);
+}
+
+/// Adds `n` to `counter` in the installed context (no-op when none).
+pub fn add(counter: Counter, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.handle.add(counter, n);
+        }
+    });
+}
+
+/// Records an event at the installed `(time, pid)` with ordinal `seq`
+/// (no-op when no context is installed).
+pub fn event(seq: u32, kind: EventKind) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.handle.record(ObsEvent { time: ctx.time, pid: ctx.pid, seq, kind });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::seq;
+
+    #[test]
+    fn records_into_the_installed_handle_and_restores_on_drop() {
+        let h = MetricsHandle::with_events(8);
+        {
+            let _g = enter(&h, 7, 2);
+            bump(Counter::AdviceWrites);
+            event(seq::ADVICE, EventKind::AdviceWrite);
+        }
+        // Outside the guard: no-ops.
+        bump(Counter::AdviceWrites);
+        event(seq::ADVICE, EventKind::AdviceWrite);
+
+        assert_eq!(h.get(Counter::AdviceWrites), 1);
+        let evs = h.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].time, evs[0].pid, evs[0].seq), (7, 2, seq::ADVICE));
+    }
+
+    #[test]
+    fn nested_installs_stack() {
+        let outer = MetricsHandle::counters();
+        let inner = MetricsHandle::counters();
+        let _g1 = enter(&outer, 1, 0);
+        {
+            let _g2 = enter(&inner, 2, 1);
+            bump(Counter::FdQueries);
+        }
+        bump(Counter::FdQueries);
+        assert_eq!(inner.get(Counter::FdQueries), 1);
+        assert_eq!(outer.get(Counter::FdQueries), 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! The metrics registry: counters, log-scale histograms, snapshots.
+//!
+//! # Determinism discipline
+//!
+//! Every metric is declared *deterministic* or not. Deterministic metrics
+//! depend only on the run's inputs (seeds, plans, limits) — never on worker
+//! count or scheduling — and are the only ones included in a
+//! **canonical snapshot** ([`MetricsHandle::snapshot`]), which therefore
+//! serializes to the same bytes for `WFA_THREADS=1` and `=8` (CI-enforced).
+//! Inherently scheduling-dependent quantities (explorer steal counts,
+//! per-batch depths) still exist — they are real performance signals — but
+//! only appear in the *full* snapshot ([`MetricsHandle::snapshot_full`]),
+//! which is documented as non-comparable across thread counts.
+//!
+//! Parallel sweeps follow the `wfa-faults::sweep` index-slot discipline:
+//! each job records into its own registry, and the per-job snapshots are
+//! merged in job-index order ([`Snapshot::merge`] is commutative, so the
+//! order is a convention, not a load-bearing trick).
+//!
+//! # Cost when disabled
+//!
+//! [`MetricsHandle`] is an `Option<Arc<Registry>>`; the disabled handle is
+//! `None`, so every recording call is a single branch and the kernel's step
+//! loop pays nothing when observability is off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::span::{EventRing, ObsEvent};
+
+/// Every counter the workspace records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // the names are the documentation; see `name()`
+pub enum Counter {
+    /// Schedule slots consumed by `run_schedule` (steps + crash skips).
+    ScheduleSlots,
+    /// Effective steps (a running process actually stepped).
+    EffectiveSteps,
+    /// Null steps (the scheduled process had decided or halted).
+    NullSteps,
+    /// Slots consumed by crashed processes.
+    CrashSkips,
+    /// Steps whose memory operation was a read.
+    OpReads,
+    /// Steps whose memory operation was a write.
+    OpWrites,
+    /// Steps whose memory operation was an atomic snapshot.
+    OpSnapshots,
+    /// Steps with no memory operation.
+    OpNone,
+    /// Decide steps.
+    Decisions,
+    /// Failure-detector queries answered by the harness.
+    FdQueries,
+    /// Advice values written to shared advice variables.
+    AdviceWrites,
+    /// Advice values successfully read from shared advice variables.
+    AdviceReads,
+    /// Simulated steps applied by a simulation engine (Figure 2 / BG).
+    SimulatedSteps,
+    /// Consensus rounds resolved (ballot decided).
+    ConsensusRounds,
+    /// Consensus rounds aborted to a higher ballot.
+    ConsensusAborts,
+    /// Safe-agreement instances resolved (BG simulation rounds).
+    SafeAgreementRounds,
+    /// Distinct states the explorer visited.
+    ExplorerStates,
+    /// Visited-set hits (a state reached again via another schedule).
+    ExplorerDedupeHits,
+    /// Jobs an explorer worker stole from the global frontier
+    /// (**nondeterministic**: depends on worker scheduling).
+    ExplorerSteals,
+    /// `(plan, seed)` jobs evaluated by fault sweeps.
+    SweepJobs,
+    /// Violations found by fault sweeps.
+    SweepViolations,
+    /// Replays spent shrinking violations.
+    ShrinkReplays,
+}
+
+/// All counters, in canonical export order.
+pub const COUNTERS: [Counter; 22] = [
+    Counter::ScheduleSlots,
+    Counter::EffectiveSteps,
+    Counter::NullSteps,
+    Counter::CrashSkips,
+    Counter::OpReads,
+    Counter::OpWrites,
+    Counter::OpSnapshots,
+    Counter::OpNone,
+    Counter::Decisions,
+    Counter::FdQueries,
+    Counter::AdviceWrites,
+    Counter::AdviceReads,
+    Counter::SimulatedSteps,
+    Counter::ConsensusRounds,
+    Counter::ConsensusAborts,
+    Counter::SafeAgreementRounds,
+    Counter::ExplorerStates,
+    Counter::ExplorerDedupeHits,
+    Counter::ExplorerSteals,
+    Counter::SweepJobs,
+    Counter::SweepViolations,
+    Counter::ShrinkReplays,
+];
+
+impl Counter {
+    /// Stable snake_case name used in snapshots and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::ScheduleSlots => "schedule_slots",
+            Counter::EffectiveSteps => "effective_steps",
+            Counter::NullSteps => "null_steps",
+            Counter::CrashSkips => "crash_skips",
+            Counter::OpReads => "op_reads",
+            Counter::OpWrites => "op_writes",
+            Counter::OpSnapshots => "op_snapshots",
+            Counter::OpNone => "op_none",
+            Counter::Decisions => "decisions",
+            Counter::FdQueries => "fd_queries",
+            Counter::AdviceWrites => "advice_writes",
+            Counter::AdviceReads => "advice_reads",
+            Counter::SimulatedSteps => "simulated_steps",
+            Counter::ConsensusRounds => "consensus_rounds",
+            Counter::ConsensusAborts => "consensus_aborts",
+            Counter::SafeAgreementRounds => "safe_agreement_rounds",
+            Counter::ExplorerStates => "explorer_states",
+            Counter::ExplorerDedupeHits => "explorer_dedupe_hits",
+            Counter::ExplorerSteals => "explorer_steals",
+            Counter::SweepJobs => "sweep_jobs",
+            Counter::SweepViolations => "sweep_violations",
+            Counter::ShrinkReplays => "shrink_replays",
+        }
+    }
+
+    /// `true` iff the counter is thread-count invariant (canonical).
+    pub fn deterministic(&self) -> bool {
+        !matches!(self, Counter::ExplorerSteals)
+    }
+
+    fn index(&self) -> usize {
+        COUNTERS.iter().position(|c| c == self).expect("every counter is listed")
+    }
+}
+
+/// Log-scale (base-2 bucket) histograms the workspace records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HistKind {
+    /// Recorded schedule length of each fault-sweep job (per-plan cost).
+    PlanCost,
+    /// Depth of each state batch an explorer worker expanded
+    /// (**nondeterministic**: depends on how work was split).
+    ShardDepth,
+}
+
+/// All histograms, in canonical export order.
+pub const HISTS: [HistKind; 2] = [HistKind::PlanCost, HistKind::ShardDepth];
+
+/// Buckets per histogram: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 is exactly the value 0), so the largest `u64` lands in 64.
+pub const HIST_BUCKETS: usize = 65;
+
+impl HistKind {
+    /// Stable snake_case name used in snapshots and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistKind::PlanCost => "plan_cost",
+            HistKind::ShardDepth => "shard_depth",
+        }
+    }
+
+    /// `true` iff the histogram is thread-count invariant (canonical).
+    pub fn deterministic(&self) -> bool {
+        !matches!(self, HistKind::ShardDepth)
+    }
+
+    fn index(&self) -> usize {
+        HISTS.iter().position(|h| h == self).expect("every histogram is listed")
+    }
+}
+
+/// The log2 bucket of a value.
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of bucket `i` (for display).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Shared recording state: lock-free counters and histograms, plus an
+/// optional mutex-guarded event ring.
+#[derive(Debug)]
+pub struct Registry {
+    counters: [AtomicU64; COUNTERS.len()],
+    hists: Vec<[AtomicU64; HIST_BUCKETS]>,
+    events: Mutex<EventRing>,
+}
+
+impl Registry {
+    fn new(event_cap: usize) -> Registry {
+        Registry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: (0..HISTS.len()).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect(),
+            events: Mutex::new(EventRing::new(event_cap)),
+        }
+    }
+}
+
+/// A cheaply clonable, possibly-disabled reference to a [`Registry`].
+///
+/// The default handle is disabled: every recording method is a single
+/// `Option` branch. Enabled handles share one registry per `Arc`, so a
+/// handle threaded through an `EfdRun` and its executor accumulates into
+/// one place.
+#[derive(Clone, Default)]
+pub struct MetricsHandle(Option<Arc<Registry>>);
+
+impl std::fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "MetricsHandle(disabled)"),
+            Some(_) => write!(f, "MetricsHandle(enabled)"),
+        }
+    }
+}
+
+impl MetricsHandle {
+    /// The zero-cost disabled handle.
+    pub fn disabled() -> MetricsHandle {
+        MetricsHandle(None)
+    }
+
+    /// A fresh registry recording counters and histograms only (no events) —
+    /// what parallel sweeps give each job shard.
+    pub fn counters() -> MetricsHandle {
+        MetricsHandle(Some(Arc::new(Registry::new(0))))
+    }
+
+    /// A fresh registry that also records up to `event_cap` events in a
+    /// bounded ring.
+    pub fn with_events(event_cap: usize) -> MetricsHandle {
+        MetricsHandle(Some(Arc::new(Registry::new(event_cap))))
+    }
+
+    /// `true` iff recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds 1 to `c`.
+    pub fn bump(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Adds `n` to `c`.
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(r) = &self.0 {
+            r.counters[c.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `value` into histogram `h`.
+    pub fn observe(&self, h: HistKind, value: u64) {
+        if let Some(r) = &self.0 {
+            r.hists[h.index()][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an event (no-op when disabled or the ring capacity is 0).
+    pub fn record(&self, ev: ObsEvent) {
+        if let Some(r) = &self.0 {
+            let mut ring = r.events.lock().expect("event ring lock");
+            ring.push(ev);
+        }
+    }
+
+    /// The current value of `c` (0 when disabled).
+    pub fn get(&self, c: Counter) -> u64 {
+        match &self.0 {
+            Some(r) => r.counters[c.index()].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// The retained events in stable `(time, pid, seq)` order (empty when
+    /// disabled).
+    pub fn events(&self) -> Vec<ObsEvent> {
+        match &self.0 {
+            Some(r) => r.events.lock().expect("event ring lock").sorted(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        match &self.0 {
+            Some(r) => r.events.lock().expect("event ring lock").dropped(),
+            None => 0,
+        }
+    }
+
+    /// The canonical (deterministic-metrics-only) snapshot; `None` when
+    /// disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.snap(true)
+    }
+
+    /// The full snapshot, including thread-count-dependent metrics; `None`
+    /// when disabled. Not byte-comparable across worker counts.
+    pub fn snapshot_full(&self) -> Option<Snapshot> {
+        self.snap(false)
+    }
+
+    fn snap(&self, canonical: bool) -> Option<Snapshot> {
+        let r = self.0.as_ref()?;
+        let counters = COUNTERS
+            .iter()
+            .filter(|c| !canonical || c.deterministic())
+            .map(|c| (c.name().to_string(), r.counters[c.index()].load(Ordering::Relaxed)))
+            .collect();
+        let hists = HISTS
+            .iter()
+            .filter(|h| !canonical || h.deterministic())
+            .map(|h| {
+                let buckets = r.hists[h.index()]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i as u64, n))
+                    })
+                    .collect();
+                (h.name().to_string(), buckets)
+            })
+            .collect();
+        Some(Snapshot { counters, hists })
+    }
+}
+
+/// A point-in-time copy of a registry: counter values (every declared
+/// counter, zeros included, in canonical order) and the nonzero histogram
+/// buckets. The fixed shape is what makes snapshots byte-comparable.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` in canonical counter order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, [(bucket, count)...])` in canonical histogram order; only
+    /// nonzero buckets appear.
+    pub hists: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Adds every counter and bucket of `other` into `self` (commutative;
+    /// sweeps merge per-job snapshots in job-index order by convention).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, buckets) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => {
+                    for (b, c) in buckets {
+                        match mine.iter_mut().find(|(mb, _)| mb == b) {
+                            Some((_, mc)) => *mc += c,
+                            None => {
+                                mine.push((*b, *c));
+                                mine.sort_unstable();
+                            }
+                        }
+                    }
+                }
+                None => self.hists.push((name.clone(), buckets.clone())),
+            }
+        }
+    }
+
+    /// Counters whose values differ: `(name, self_value, other_value)`.
+    /// Counters absent from one side compare as 0.
+    pub fn diff(&self, other: &Snapshot) -> Vec<(String, u64, u64)> {
+        let mut names: Vec<&String> = self.counters.iter().map(|(n, _)| n).collect();
+        for (n, _) in &other.counters {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let a = self.counter(n).unwrap_or(0);
+                let b = other.counter(n).unwrap_or(0);
+                (a != b).then(|| (n.clone(), a, b))
+            })
+            .collect()
+    }
+
+    /// Canonical serialization (key order is declaration order, so equal
+    /// snapshots serialize to equal bytes).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters.iter().map(|(n, v)| (n.clone(), Json::Num(*v))).collect(),
+                ),
+            ),
+            (
+                "hists".into(),
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(n, buckets)| {
+                            (
+                                n.clone(),
+                                Json::Arr(
+                                    buckets
+                                        .iter()
+                                        .map(|(b, c)| {
+                                            Json::Arr(vec![Json::Num(*b), Json::Num(*c)])
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot serialized by [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape mismatch.
+    pub fn from_json(json: &Json) -> Result<Snapshot, String> {
+        let counters_obj = json.get("counters").ok_or("snapshot lacks `counters`")?;
+        let Json::Obj(fields) = counters_obj else {
+            return Err("`counters` is not an object".into());
+        };
+        let mut counters = Vec::new();
+        for (name, v) in fields {
+            let n = v.num().ok_or_else(|| format!("counter `{name}` is not a number"))?;
+            counters.push((name.clone(), n));
+        }
+        let mut hists = Vec::new();
+        if let Some(Json::Obj(hfields)) = json.get("hists") {
+            for (name, v) in hfields {
+                let arr = v.arr().ok_or_else(|| format!("hist `{name}` is not an array"))?;
+                let mut buckets = Vec::new();
+                for pair in arr {
+                    let p = pair.arr().filter(|p| p.len() == 2).ok_or("bad bucket pair")?;
+                    buckets.push((
+                        p[0].num().ok_or("bucket index is not a number")?,
+                        p[1].num().ok_or("bucket count is not a number")?,
+                    ));
+                }
+                hists.push((name.clone(), buckets));
+            }
+        }
+        Ok(Snapshot { counters, hists })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{seq, EventKind, Op};
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let h = MetricsHandle::disabled();
+        h.bump(Counter::EffectiveSteps);
+        h.observe(HistKind::PlanCost, 42);
+        h.record(ObsEvent { time: 0, pid: 0, seq: 0, kind: EventKind::FdQuery });
+        assert!(h.snapshot().is_none());
+        assert!(h.events().is_empty());
+        assert_eq!(h.get(Counter::EffectiveSteps), 0);
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let h = MetricsHandle::counters();
+        h.bump(Counter::FdQueries);
+        h.add(Counter::FdQueries, 2);
+        h.observe(HistKind::PlanCost, 0);
+        h.observe(HistKind::PlanCost, 5);
+        h.observe(HistKind::PlanCost, 7);
+        let s = h.snapshot().expect("enabled");
+        assert_eq!(s.counter("fd_queries"), Some(3));
+        assert_eq!(s.counter("effective_steps"), Some(0));
+        let (_, buckets) = &s.hists[0];
+        // 0 → bucket 0; 5 and 7 → bucket 3 (values 4..8).
+        assert_eq!(buckets, &vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn canonical_snapshot_excludes_nondeterministic_metrics() {
+        let h = MetricsHandle::counters();
+        h.bump(Counter::ExplorerSteals);
+        h.observe(HistKind::ShardDepth, 9);
+        let canon = h.snapshot().unwrap();
+        assert_eq!(canon.counter("explorer_steals"), None);
+        assert!(canon.hists.iter().all(|(n, _)| n != "shard_depth"));
+        let full = h.snapshot_full().unwrap();
+        assert_eq!(full.counter("explorer_steals"), Some(1));
+        assert!(full.hists.iter().any(|(n, _)| n == "shard_depth"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = MetricsHandle::counters();
+        h.add(Counter::SweepJobs, 17);
+        h.observe(HistKind::PlanCost, 130);
+        let s = h.snapshot().unwrap();
+        let parsed = Snapshot::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn merge_and_diff() {
+        let a = MetricsHandle::counters();
+        a.add(Counter::SweepJobs, 2);
+        a.observe(HistKind::PlanCost, 3);
+        let b = MetricsHandle::counters();
+        b.add(Counter::SweepJobs, 5);
+        b.bump(Counter::SweepViolations);
+        b.observe(HistKind::PlanCost, 3);
+        b.observe(HistKind::PlanCost, 100);
+        let mut m = a.snapshot().unwrap();
+        m.merge(&b.snapshot().unwrap());
+        assert_eq!(m.counter("sweep_jobs"), Some(7));
+        assert_eq!(m.counter("sweep_violations"), Some(1));
+        let (_, buckets) = m.hists.iter().find(|(n, _)| n == "plan_cost").unwrap();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 3);
+
+        let d = a.snapshot().unwrap().diff(&b.snapshot().unwrap());
+        assert!(d.iter().any(|(n, x, y)| n == "sweep_jobs" && *x == 2 && *y == 5));
+        assert!(a.snapshot().unwrap().diff(&a.snapshot().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn events_sort_by_stable_key() {
+        let h = MetricsHandle::with_events(8);
+        h.record(ObsEvent { time: 3, pid: 1, seq: seq::STEP, kind: EventKind::Step { op: Op::None, decided: false } });
+        h.record(ObsEvent { time: 3, pid: 1, seq: seq::FD_QUERY, kind: EventKind::FdQuery });
+        h.record(ObsEvent { time: 1, pid: 0, seq: seq::STEP, kind: EventKind::Step { op: Op::None, decided: true } });
+        let evs = h.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].time, 1);
+        assert_eq!(evs[1].kind, EventKind::FdQuery);
+    }
+}

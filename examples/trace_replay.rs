@@ -1,10 +1,10 @@
-//! Replay a model-checker counterexample with full tracing.
+//! Replay a model-checker counterexample with full observability.
 //!
 //! Takes the violating schedule found by the Lemma-11 refutation (a
 //! concrete interleaving on which the consensus protocol derived from a
-//! renaming candidate disagrees), replays it step by step with the kernel's
-//! event tracing enabled, and prints the space-time diagram — the
-//! adversary's schedule made visible.
+//! renaming candidate disagrees), replays it step by step with the
+//! observability layer recording every effective step, and prints the
+//! space-time timeline — the adversary's schedule made visible.
 //!
 //! ```sh
 //! cargo run --release --example trace_replay
@@ -16,6 +16,8 @@ use wfa::kernel::sched::{run_schedule, NullEnv, Replay};
 use wfa::kernel::value::Value;
 use wfa::modelcheck::explorer::Limits;
 use wfa::modelcheck::lemma11::{refute_strong_2_renaming, ConsensusViaRenaming, BoxedAuto};
+use wfa::obs::metrics::MetricsHandle;
+use wfa::obs::span::timeline;
 use wfa_algorithms::renaming::RenamingFig4;
 
 fn main() {
@@ -28,9 +30,12 @@ fn main() {
     println!("counterexample: {reason}");
     println!("colliding solo slots: p{a}, p{b}; schedule length {}\n", schedule.len());
 
-    // 2. Rebuild the derived consensus instance and replay with tracing.
+    // 2. Rebuild the derived consensus instance and replay under the
+    //    observability layer: every effective step becomes a stable-keyed
+    //    event, and the counters double-check what the replay did.
+    let obs = MetricsHandle::with_events(4096);
     let mut ex = Executor::new();
-    ex.enable_trace(4096);
+    ex.set_metrics(obs.clone());
     ex.add_process(Box::new(ConsensusViaRenaming::new(
         a,
         b,
@@ -47,8 +52,8 @@ fn main() {
     run_schedule(&mut ex, &mut replay, &mut NullEnv, 10_000);
 
     // 3. Show what happened.
-    println!("space-time diagram (r = read, w = write, s = snapshot, D = decide):\n");
-    println!("{}", ex.trace().expect("tracing enabled").diagram(2));
+    println!("space-time timeline (r = read, w = write, s = snapshot, D = decide):\n");
+    println!("{}", timeline(&obs.events(), 2));
     println!();
     for pid in ex.pids() {
         match ex.status(pid).decision() {
@@ -56,6 +61,13 @@ fn main() {
             None => println!("{pid} undecided"),
         }
     }
+    let snap = obs.snapshot().expect("metrics enabled");
+    println!(
+        "\ncounters: {} slots, {} effective steps, {} decisions",
+        snap.counter("schedule_slots").unwrap_or(0),
+        snap.counter("effective_steps").unwrap_or(0),
+        snap.counter("decisions").unwrap_or(0),
+    );
     let d: Vec<Value> = ex
         .pids()
         .filter_map(|p| ex.status(p).decision().cloned())

@@ -22,10 +22,14 @@
 //!   impossibility pipeline.
 //! * [`faults`] — adversarial fault injection: crash/FD-corruption/advice-delay
 //!   plans, bounded plan search, structured replayable violation reports.
+//! * [`obs`] — deterministic observability: the metrics registry
+//!   (counters + log-scale histograms), stable-keyed span/event tracing,
+//!   and the canonical JSONL / Chrome-trace / ASCII-timeline exporters.
 
 pub use wfa_algorithms as algorithms;
 pub use wfa_core as core;
 pub use wfa_faults as faults;
+pub use wfa_obs as obs;
 pub use wfa_fd as fd;
 pub use wfa_kernel as kernel;
 pub use wfa_modelcheck as modelcheck;
