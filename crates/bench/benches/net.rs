@@ -1,0 +1,61 @@
+//! Bench family B9 — the message-passing backend's emulation overhead.
+//!
+//! Every register operation over the ABD backend becomes a two-phase
+//! majority protocol (2 phases × `nodes` replicas × 2 message legs), so the
+//! predicted shapes are: a constant-factor slowdown versus shared memory at
+//! fixed topology (per-op message fan-out plus replica-map bookkeeping), and
+//! overhead growing linearly with the replica count while *schedule slots to
+//! decision stay identical* (the emulation is observationally transparent —
+//! pinned by `tests/e14_net.rs`).
+//!
+//! The shm-vs-net medians recorded in `BENCH_net.json` come from the same
+//! drivers (see the regeneration command in that file's description).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfa_bench::wfa::obs::metrics::MetricsHandle;
+use wfa_bench::{run_ksa, run_ksa_backend};
+
+/// B9a: shared memory vs. the ABD backend on the same fixed-shape run.
+fn bench_shm_vs_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/ksa_backend");
+    g.sample_size(10);
+    let (n, k, stab) = (4usize, 2usize, 50u64);
+    g.bench_function("shm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_ksa(n, k, stab, seed));
+        });
+    });
+    g.bench_function("abd", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_ksa_backend(n, k, stab, seed, &MetricsHandle::disabled(), n));
+        });
+    });
+    g.finish();
+}
+
+/// B9b: overhead vs. replica count — per-op traffic is `4 * nodes` messages,
+/// so wall-clock should grow linearly in `nodes` at fixed op count.
+fn bench_replica_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/ksa_replicas");
+    g.sample_size(10);
+    let (n, k, stab) = (4usize, 2usize, 50u64);
+    for nodes in [3usize, 5, 9] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_ksa_backend(n, k, stab, seed, &MetricsHandle::disabled(), nodes));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shm_vs_net, bench_replica_scaling);
+criterion_main!(benches);

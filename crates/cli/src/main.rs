@@ -38,9 +38,27 @@ use wfa::modelcheck::lemma11::{refute_strong_2_renaming, BoxedAuto, ConsensusVia
 use wfa::obs::json::Json;
 use wfa::obs::metrics::{MetricsHandle, Snapshot};
 use wfa::obs::span::timeline;
+use wfa::net::abd::AbdBackend;
+use wfa::net::config::NetConfig;
 use wfa::tasks::agreement::SetAgreement;
 use wfa::tasks::renaming::Renaming;
 use wfa::tasks::task::Task;
+
+/// Builds the register backend selected by `--backend`: `None` for the
+/// in-process shared memory (`shm`, the default), or the ABD emulation over
+/// `nodes` simulated replicas (`net`). The net delay seed is derived from
+/// the run seed so `--seed` fully determines the network too.
+fn select_backend(
+    backend: &str,
+    nodes: usize,
+    seed: u64,
+) -> Result<Option<Box<dyn wfa::kernel::backend::MemoryBackend>>, String> {
+    match backend {
+        "shm" => Ok(None),
+        "net" => Ok(Some(Box::new(AbdBackend::new(NetConfig::new(nodes, seed ^ 0x7e7))))),
+        other => Err(format!("unknown backend `{other}` (try: shm, net)")),
+    }
+}
 
 /// Parsed `--key value` arguments with typed accessors.
 struct Args(HashMap<String, String>);
@@ -81,6 +99,8 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
     let seed: u64 = args.get("seed", 7)?;
     let crashes: usize = args.get("crashes", 1)?;
     let as_json: bool = args.get("json", false)?;
+    let backend = args.get("backend", "shm".to_string())?;
+    let net_nodes: usize = args.get("net-nodes", n)?;
     if k == 0 || k > n {
         return Err("need 1 ≤ k ≤ n".into());
     }
@@ -106,6 +126,9 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
         .collect();
     let obs = MetricsHandle::counters();
     let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
+    if let Some(b) = select_backend(&backend, net_nodes, seed)? {
+        run = run.with_backend(b);
+    }
     let mut sched = run.fair_sched(seed ^ 0xc11);
     let slots = run.run_until_decided(&mut sched, 5_000_000);
     let task = SetAgreement::new(n, k);
@@ -118,6 +141,7 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
     if as_json {
         let obj = Json::Obj(vec![
             ("command".into(), Json::Str("ksa".into())),
+            ("backend".into(), Json::Str(backend.clone())),
             ("n".into(), Json::Num(n as u64)),
             ("k".into(), Json::Num(k as u64)),
             ("seed".into(), Json::Num(seed)),
@@ -158,6 +182,8 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
     let j: usize = args.get("j", 3)?;
     let seeds: u64 = args.get("seeds", 60)?;
     let as_json: bool = args.get("json", false)?;
+    let backend = args.get("backend", "shm".to_string())?;
+    let net_nodes: usize = args.get("net-nodes", j)?;
     let m = j + 1;
     let obs = MetricsHandle::counters();
     let mut rows: Vec<(usize, usize, i64)> = Vec::new();
@@ -166,6 +192,9 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
         for seed in 0..seeds {
             let mut ex = Executor::new();
             ex.set_metrics(obs.clone());
+            if let Some(b) = select_backend(&backend, net_nodes, seed)? {
+                ex.set_backend(b);
+            }
             let pids: Vec<Pid> =
                 (0..j).map(|i| ex.add_process(Box::new(RenamingFig4::new(i, m)))).collect();
             let mut sched = KConcurrent::with_seed(pids.clone(), [], k, seed);
@@ -180,6 +209,7 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
     if as_json {
         let obj = Json::Obj(vec![
             ("command".into(), Json::Str("rename".into())),
+            ("backend".into(), Json::Str(backend.clone())),
             ("j".into(), Json::Num(j as u64)),
             ("seeds".into(), Json::Num(seeds)),
             (
@@ -330,8 +360,10 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
          faults sweep  --scenario NAME [--depth D --seeds S --seed B --threads T --out FILE]\n\
          \n\
          \tEnumerates every fault plan of ≤ D components (bounded DFS over\n\
-         \tcrash points, starvation stops, FD sample corruption and advice\n\
-         \tdelays), evaluates S seeds per plan with panic isolation, shrinks\n\
+         \tcrash points, starvation stops, FD sample corruption, advice\n\
+         \tdelays and — for net-backed scenarios — majority-safe replica\n\
+         \tpartitions, drop windows and heals), evaluates S seeds per plan\n\
+         \twith panic isolation, shrinks\n\
          \tthe violations and prints them. --out writes the canonical report\n\
          \tJSON (byte-identical for every --threads value). Exits non-zero\n\
          \tif violations were found.\n\
@@ -404,8 +436,10 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
                 None => vec![Violation::from_json(&json)?],
             };
             if violations.is_empty() {
-                println!("artifact holds no violations — nothing to replay");
-                return Ok(());
+                // An empty artifact reproduces nothing — that is a failed
+                // replay, not a success (scripts gating on the exit code
+                // must not read "no violations present" as "reproduced").
+                return Err("artifact holds no violations — nothing to replay".into());
             }
             let mut failed = 0;
             for v in &violations {
@@ -425,7 +459,17 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
         Some("list") => {
             for name in Scenario::catalog() {
                 let sc = Scenario::by_name(name).expect("catalog names resolve");
-                println!("{name:<16} n={} budget={} ({})", sc.n, sc.budget, sc.task.name());
+                let backend = if sc.net_nodes > 0 {
+                    format!("net({})", sc.net_nodes)
+                } else {
+                    "shm".to_string()
+                };
+                println!(
+                    "{name:<16} n={} budget={} backend={backend} ({})",
+                    sc.n,
+                    sc.budget,
+                    sc.task.name()
+                );
             }
             Ok(())
         }
@@ -502,7 +546,37 @@ fn obs_source(
                 .run(&ex);
             Ok((obs.snapshot().expect("metrics enabled"), Vec::new()))
         }
-        other => Err(format!("unknown source `{other}` (try: figure2, sweep, explore)")),
+        // The default `ksa` run over the ABD quorum-replicated backend:
+        // message/quorum counters, channel spans, and step events, all on
+        // a single deterministic schedule (thread-count invariant by
+        // construction — the CI net-determinism job diffs its exports).
+        "net" => {
+            let (n, k, stab) = (4usize, 2usize, 200u64);
+            let pattern = wfa::fd::environment::Environment::up_to(n, 1).sample(seed, stab);
+            let fd = FdGen::vector_omega_k(pattern, k, stab, seed);
+            let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+            let c: Vec<Box<dyn DynProcess>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Box::new(SetAgreementC::new(i, k as u32, v.clone())) as Box<dyn DynProcess>
+                })
+                .collect();
+            let s: Vec<Box<dyn DynProcess>> = (0..n)
+                .map(|q| {
+                    Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32))
+                        as Box<dyn DynProcess>
+                })
+                .collect();
+            let obs = MetricsHandle::with_events(4096);
+            let mut run = EfdRun::new(c, s, fd)
+                .with_metrics(obs.clone())
+                .with_backend(Box::new(AbdBackend::new(NetConfig::new(n, seed ^ 0x7e7))));
+            let mut sched = run.fair_sched(seed ^ 0xc11);
+            run.run_until_decided(&mut sched, 5_000_000);
+            Ok((obs.snapshot().expect("metrics enabled"), obs.events()))
+        }
+        other => Err(format!("unknown source `{other}` (try: figure2, sweep, explore, net)")),
     }
 }
 
@@ -511,7 +585,7 @@ fn cmd_obs(argv: &[String]) -> Result<(), String> {
 
     const OBS_USAGE: &str = "USAGE: wfa-cli obs <summary|export|diff>\n\
          \n\
-         obs summary [--source figure2|sweep|explore --seed S --threads T]\n\
+         obs summary [--source figure2|sweep|explore|net --seed S --threads T]\n\
          \n\
          \tRuns the fixed-seed source and prints its canonical counter and\n\
          \thistogram snapshot. The snapshot only carries thread-count\n\
@@ -527,7 +601,8 @@ fn cmd_obs(argv: &[String]) -> Result<(), String> {
          obs diff A B\n\
          \n\
          \tDiffs two snapshot files (plain JSON or JSONL exports; the first\n\
-         \tline is read). Exits non-zero when any counter differs.";
+         \tline is read). Exits non-zero when any counter or histogram\n\
+         \tbucket differs.";
 
     match argv.first().map(String::as_str) {
         Some("summary") => {
@@ -615,8 +690,8 @@ fn usage() -> &'static str {
      USAGE: wfa-cli <command> [--key value ...]\n\
      \n\
      COMMANDS\n\
-       ksa        EFD k-set agreement   (--n --k --stab --seed --crashes)\n\
-       rename     renaming sweep        (--j --seeds)\n\
+       ksa        EFD k-set agreement   (--n --k --stab --seed --crashes --backend)\n\
+       rename     renaming sweep        (--j --seeds --backend)\n\
        hierarchy  Theorem-10 table      (--n --runs)\n\
        refute     Lemma-11 pipeline\n\
        extract    Figure-1 extraction   (--slots --stab --seed)\n\
@@ -625,7 +700,9 @@ fn usage() -> &'static str {
        help       this text\n\
      \n\
      `ksa` and `rename` accept --json for a machine-readable report with\n\
-     the canonical metrics snapshot attached."
+     the canonical metrics snapshot attached, and --backend shm|net to run\n\
+     over the in-process shared memory or the ABD-replicated network\n\
+     emulation (identical decision values for identical seeds)."
 }
 
 fn main() -> ExitCode {

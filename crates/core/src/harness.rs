@@ -152,6 +152,16 @@ impl<F: FdSource> EfdRun<F> {
         self.executor.metrics()
     }
 
+    /// Installs a register backend (builder-style): every register operation
+    /// of the run — C-process protocol registers and the S→C advice
+    /// registers alike — routes through it instead of the in-process shared
+    /// memory. See `wfa_kernel::backend::MemoryBackend`; the ABD emulation
+    /// in `wfa-net` is the canonical implementation.
+    pub fn with_backend(mut self, backend: Box<dyn wfa_kernel::backend::MemoryBackend>) -> EfdRun<F> {
+        self.executor.set_backend(backend);
+        self
+    }
+
     /// Executes under `sched` for at most `budget` schedule slots.
     pub fn run(&mut self, sched: &mut dyn Scheduler, budget: u64) -> StopReason {
         let obs = self.executor.metrics().clone();

@@ -12,6 +12,8 @@
 //! determines a run — which is what makes violations replayable and sweep
 //! reports byte-identical across worker-thread counts.
 
+use wfa_net::config::{majority_safe, NetFault};
+
 use crate::json::Json;
 
 /// A deterministic corruption of one S-process's failure-detector samples.
@@ -100,6 +102,13 @@ pub struct FaultPlan {
     /// time; plans without it may legitimately destroy liveness, so
     /// wait-freedom is only asserted for eventually-clean plans.
     pub clear_after: Option<u64>,
+    /// Network faults (partition/heal/drop windows on the network's logical
+    /// clock), applied only when the scenario runs over the message-passing
+    /// backend and ignored on shared memory. Majority-breaking combinations
+    /// exceed the ABD model's assumption: quorum operations strand and the
+    /// backend raises a structured `net: quorum unreachable` panic, which
+    /// the sweep converts into a replayable [`crate::violation::Violation`].
+    pub net_faults: Vec<NetFault>,
 }
 
 impl FaultPlan {
@@ -147,6 +156,34 @@ impl FaultPlan {
         self
     }
 
+    /// Partitions replica `nodes` away from the rest at network tick `at`.
+    pub fn partition(mut self, nodes: Vec<usize>, at: u64) -> FaultPlan {
+        self.net_faults.push(NetFault::Partition { at, nodes });
+        self
+    }
+
+    /// Heals every partition at network tick `at`.
+    pub fn heal(mut self, at: u64) -> FaultPlan {
+        self.net_faults.push(NetFault::Heal { at });
+        self
+    }
+
+    /// Drops all traffic to/from replica `node` during `at..until`.
+    pub fn drop_link(mut self, node: usize, at: u64, until: u64) -> FaultPlan {
+        assert!(until > at, "drop window must be non-empty");
+        self.net_faults.push(NetFault::Drop { at, until, node });
+        self
+    }
+
+    /// The ABD precondition: `true` iff every partition in the plan leaves a
+    /// strict majority of the `nodes` replicas reachable or is later healed.
+    /// Plans failing this are still runnable — they are the adversary
+    /// exceeding the model, and quorum operations are *expected* to strand
+    /// (a structured panic, replayable as a violation).
+    pub fn net_majority_safe(&self, nodes: usize) -> bool {
+        majority_safe(&self.net_faults, nodes)
+    }
+
     /// `true` iff the plan's FD corruption provably ends, so wait-freedom
     /// may still be asserted. Crash and stop injections never void the
     /// check (the harness already excludes stopped/crashed processes);
@@ -161,6 +198,7 @@ impl FaultPlan {
             && self.stops.is_empty()
             && self.fd_faults.is_empty()
             && self.advice_delay == 0
+            && self.net_faults.is_empty()
     }
 
     /// A short human-readable summary, e.g. `crash(1@40) stop(0@25) lose(0/3)`.
@@ -180,6 +218,9 @@ impl FaultPlan {
                 FdFault::Lose { q, period } => format!("lose({q}/{period})"),
                 FdFault::Freeze { q, period } => format!("freeze({q}/{period})"),
             });
+        }
+        for f in &self.net_faults {
+            parts.push(f.describe());
         }
         if self.advice_delay > 0 {
             parts.push(format!("delay({})", self.advice_delay));
@@ -205,6 +246,10 @@ impl FaultPlan {
             ("fd_faults".into(), Json::Arr(self.fd_faults.iter().map(FdFault::to_json).collect())),
             ("advice_delay".into(), Json::Num(self.advice_delay)),
             ("clear_after".into(), self.clear_after.map_or(Json::Null, Json::Num)),
+            (
+                "net_faults".into(),
+                Json::Arr(self.net_faults.iter().map(NetFault::to_json).collect()),
+            ),
         ])
     }
 
@@ -239,12 +284,18 @@ impl FaultPlan {
             Some(Json::Null) | None => None,
             Some(j) => Some(j.num().ok_or("plan: bad clear_after")?),
         };
+        // Absent in artifacts written before the net backend existed.
+        let net_faults = match v.get("net_faults").and_then(Json::arr) {
+            Some(xs) => xs.iter().map(NetFault::from_json).collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(FaultPlan {
             crashes: pairs("crashes")?,
             stops: pairs("stops")?,
             fd_faults,
             advice_delay: v.get("advice_delay").and_then(Json::num).unwrap_or(0),
             clear_after,
+            net_faults,
         })
     }
 }
@@ -286,6 +337,36 @@ mod tests {
         // And without clear_after.
         let q = FaultPlan::clean().crash_s(1, 1);
         assert_eq!(q, FaultPlan::from_json(&q.to_json()).unwrap());
+    }
+
+    #[test]
+    fn net_faults_roundtrip_and_describe() {
+        let p = FaultPlan::clean().partition(vec![0, 2], 9).heal(30).drop_link(1, 2, 8);
+        assert!(!p.is_clean());
+        assert_eq!(p, FaultPlan::from_json(&p.to_json()).unwrap());
+        let d = p.describe();
+        for needle in ["partition(0+2@9)", "heal(@30)", "drop(1@2..8)"] {
+            assert!(d.contains(needle), "{d} missing {needle}");
+        }
+        // Artifacts written before the net backend existed parse to no
+        // net faults.
+        let mut old = FaultPlan::clean().crash_s(1, 4).to_json();
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "net_faults");
+        }
+        assert_eq!(FaultPlan::from_json(&old).unwrap().net_faults, Vec::new());
+    }
+
+    #[test]
+    fn majority_predicate_gates_partitions() {
+        // 1 of 3 partitioned away: majority {1, 2} survives.
+        assert!(FaultPlan::clean().partition(vec![0], 5).net_majority_safe(3));
+        // 2 of 3 partitioned away: the precondition fails, and a later heal
+        // is not credited (it only rescues ops that retransmit past it).
+        assert!(!FaultPlan::clean().partition(vec![0, 1], 5).net_majority_safe(3));
+        assert!(!FaultPlan::clean().partition(vec![0, 1], 5).heal(9).net_majority_safe(3));
+        // A healed minority partition stays safe.
+        assert!(FaultPlan::clean().partition(vec![0], 5).heal(9).net_majority_safe(3));
     }
 
     #[test]

@@ -17,6 +17,8 @@ use wfa_core::harness::{EfdRun, RunReport};
 use wfa_fd::pattern::FailurePattern;
 use wfa_kernel::sched::{Record, Replay, Starve};
 use wfa_kernel::value::Pid;
+use wfa_net::abd::AbdBackend;
+use wfa_net::config::NetConfig;
 use wfa_obs::metrics::{HistKind, MetricsHandle};
 
 use crate::fdwrap::FaultyFdGen;
@@ -70,7 +72,15 @@ pub fn build_run(
     let inner = (sc.mk_fd)(pattern, sc.stab, seed);
     let (c_procs, s_procs) = (sc.factory)(&input, inner.clone());
     let fd = FaultyFdGen::new(inner, plan);
-    (EfdRun::new(c_procs, s_procs, fd), input)
+    let mut run = EfdRun::new(c_procs, s_procs, fd);
+    if sc.net_nodes > 0 {
+        // The same seed derivation the CLI uses (`--backend net`), so a
+        // violation artifact replays the identical network.
+        let mut cfg = NetConfig::new(sc.net_nodes, seed ^ 0x7e7);
+        cfg.faults = plan.net_faults.clone();
+        run = run.with_backend(Box::new(AbdBackend::new(cfg)));
+    }
+    (run, input)
 }
 
 /// Evaluates one plan: runs the faulted system under a seeded fair schedule
@@ -296,6 +306,73 @@ mod tests {
                 outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn clean_and_minority_fault_plans_pass_over_the_net_backend() {
+        // The net-backed ksa scenario decides like the shm one under the
+        // clean plan and under majority-safe network faults (one replica
+        // partitioned away, a bounded drop window: quorums stay reachable).
+        let sc = Scenario::ksa_net();
+        for plan in [
+            FaultPlan::clean(),
+            FaultPlan::clean().partition(vec![0], sc.stab),
+            FaultPlan::clean().drop_link(1, 0, sc.stab),
+            FaultPlan::clean().partition(vec![2], 0).heal(sc.stab),
+        ] {
+            assert!(plan.net_majority_safe(sc.net_nodes), "{}", plan.describe());
+            let outcome = run_plan(&sc, &plan, 5);
+            assert!(
+                outcome.violations.is_empty(),
+                "{}: {:?}",
+                plan.describe(),
+                outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            );
+            assert!(outcome.report.verdict.is_ok());
+        }
+    }
+
+    #[test]
+    fn net_and_shm_ksa_agree_on_outputs() {
+        let shm = run_plan(&Scenario::ksa(), &FaultPlan::clean(), 9);
+        let net = run_plan(&Scenario::ksa_net(), &FaultPlan::clean(), 9);
+        assert_eq!(shm.report.output, net.report.output);
+        assert_eq!(shm.schedule, net.schedule);
+    }
+
+    #[test]
+    fn majority_breaking_partition_yields_replayable_violation() {
+        // The PR's acceptance shape: a plan that partitions a majority away
+        // forever exceeds the ABD precondition; the stranded quorum op is a
+        // structured panic, and the violation artifact built from it
+        // round-trips through JSON and replays.
+        let sc = Scenario::ksa_net();
+        let plan = FaultPlan::clean().partition(vec![0, 1], 0);
+        assert!(!plan.net_majority_safe(sc.net_nodes));
+        let payload = catch_unwind(AssertUnwindSafe(|| run_plan(&sc, &plan, 3)))
+            .expect_err("quorum ops must strand under a majority-breaking partition");
+        let v = Violation {
+            scenario: sc.name.clone(),
+            seed: 3,
+            plan,
+            kind: ViolationKind::Panic { payload: payload_string(payload.as_ref()) },
+            schedule: Vec::new(),
+            original_len: 0,
+        };
+        match &v.kind {
+            ViolationKind::Panic { payload } => assert!(
+                payload.contains("net: quorum unreachable"),
+                "unstructured payload: {payload}"
+            ),
+            other => panic!("expected panic violation, got {other}"),
+        }
+        let text = v.to_json().to_string();
+        let parsed =
+            Violation::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let verdict = replay(&parsed).unwrap();
+        assert!(verdict.reproduced, "{}", verdict.detail);
+        assert!(verdict.detail.contains("net: quorum unreachable"), "{}", verdict.detail);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   replayer have real violations to chew on.
 //! * `ksa` — k-set agreement from →Ωk advice (the paper's §4.2 algorithm);
 //!   sensitive to advice delay and sample corruption.
+//! * `ksa-net` — the same experiment over the ABD quorum-replicated register
+//!   backend (3 replicas): the scenario network fault plans run against.
 //! * `renaming` — Figure-4 renaming under the (j, 2j−1) bound.
 //! * `wait-for-all` — a deliberately non-wait-free adopt-commit variant that
 //!   blocks until every proposal is published: the fixture that gives the
@@ -55,6 +57,11 @@ pub struct Scenario {
     pub budget: u64,
     /// Detector stabilization time.
     pub stab: u64,
+    /// Replica count for the message-passing register backend; `0` runs on
+    /// plain shared memory. When positive, [`crate::run::build_run`] installs
+    /// an ABD backend seeded from the run seed and carrying the plan's
+    /// network faults.
+    pub net_nodes: usize,
     /// The Δ to validate against.
     pub task: Arc<dyn Task>,
     /// Builds the (honest) detector for a failure pattern.
@@ -70,6 +77,7 @@ impl std::fmt::Debug for Scenario {
             .field("n", &self.n)
             .field("budget", &self.budget)
             .field("stab", &self.stab)
+            .field("net_nodes", &self.net_nodes)
             .finish_non_exhaustive()
     }
 }
@@ -81,6 +89,7 @@ impl Scenario {
             "adopt-commit" => Some(Scenario::adopt_commit()),
             "fragile-commit" => Some(Scenario::fragile_commit()),
             "ksa" => Some(Scenario::ksa()),
+            "ksa-net" => Some(Scenario::ksa_net()),
             "renaming" => Some(Scenario::renaming()),
             "wait-for-all" => Some(Scenario::wait_for_all()),
             _ => None,
@@ -89,7 +98,7 @@ impl Scenario {
 
     /// Names of every canonical scenario.
     pub fn catalog() -> Vec<&'static str> {
-        vec!["adopt-commit", "fragile-commit", "ksa", "renaming", "wait-for-all"]
+        vec!["adopt-commit", "fragile-commit", "ksa", "ksa-net", "renaming", "wait-for-all"]
     }
 
     /// Gafni's adopt-commit, 3 parties, coherence spec as Δ.
@@ -100,6 +109,7 @@ impl Scenario {
             n,
             budget: 30_000,
             stab: 50,
+            net_nodes: 0,
             task: Arc::new(AcTask { parties: n, distinct_inputs: false }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -128,6 +138,7 @@ impl Scenario {
             n,
             budget: 10_000,
             stab: 50,
+            net_nodes: 0,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -155,6 +166,7 @@ impl Scenario {
             n,
             budget: 300_000,
             stab: 100,
+            net_nodes: 0,
             task: Arc::new(SetAgreement::new(n, k as usize)),
             mk_fd: Arc::new(move |p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -177,6 +189,18 @@ impl Scenario {
         }
     }
 
+    /// [`Scenario::ksa`] over the ABD quorum-replicated register backend:
+    /// three replicas, so any single-node partition or drop window leaves a
+    /// live majority while two-node partitions strand quorum operations.
+    /// The fixture for network fault plans — same Δ, same algorithm, every
+    /// register access now a two-phase majority protocol.
+    pub fn ksa_net() -> Scenario {
+        let mut sc = Scenario::ksa();
+        sc.name = "ksa-net".into();
+        sc.net_nodes = 3;
+        sc
+    }
+
     /// The deliberately non-wait-free adopt-commit variant: guaranteed
     /// discoverable wait-freedom violations (stop any party and everyone
     /// else blocks on its unpublished proposal).
@@ -187,6 +211,7 @@ impl Scenario {
             n,
             budget: 5_000,
             stab: 50,
+            net_nodes: 0,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -214,6 +239,7 @@ impl Scenario {
             n: m,
             budget: 400_000,
             stab: 50,
+            net_nodes: 0,
             task: Arc::new(Renaming::new(m, j, 2 * j - 1)),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {

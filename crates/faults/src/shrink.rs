@@ -13,11 +13,19 @@
 //! schedule trivially "starves" every process, so schedule shrinking is
 //! vacuous there. Dropping plan components one at a time and re-running
 //! keeps only the faults the starvation actually depends on.
+//!
+//! Panic violations (the net backend's `quorum unreachable`, a torn
+//! automaton) also shrink their plan: each candidate re-runs under
+//! `catch_unwind` and is kept only if it still panics — the same criterion
+//! [`crate::run::replay`] certifies, so a shrunk panic artifact still
+//! reproduces.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use wfa_kernel::value::Pid;
 
 use crate::plan::FaultPlan;
-use crate::run::{replay_report, run_plan};
+use crate::run::{payload_string, replay_report, run_plan};
 use crate::scenario::Scenario;
 use crate::violation::{Violation, ViolationKind};
 
@@ -25,8 +33,7 @@ use crate::violation::{Violation, ViolationKind};
 const MAX_REPLAYS: usize = 200;
 
 /// Shrinks `v` in place as far as the replay budget allows; returns the
-/// number of replays spent. Panics never shrink (there is no certified
-/// schedule to begin with).
+/// number of replays spent.
 pub fn shrink(v: &mut Violation) -> usize {
     let Some(sc) = Scenario::by_name(&v.scenario) else {
         return 0;
@@ -34,7 +41,7 @@ pub fn shrink(v: &mut Violation) -> usize {
     match v.kind.clone() {
         ViolationKind::Safety { reason } => shrink_schedule(&sc, v, &reason),
         ViolationKind::WaitFreedom { process, .. } => shrink_plan(&sc, v, process),
-        ViolationKind::Panic { .. } => 0,
+        ViolationKind::Panic { .. } => shrink_panic(&sc, v),
     }
 }
 
@@ -91,10 +98,16 @@ fn shrink_schedule(sc: &Scenario, v: &mut Violation, reason: &str) -> usize {
 /// starves `process`.
 fn shrink_plan(sc: &Scenario, v: &mut Violation, process: usize) -> usize {
     let mut replays = 0;
+    let seed = v.seed;
+    // Dropping a component can flip the run into a *panic* (e.g. removing
+    // the heal that kept a partition majority-safe): that candidate is a
+    // different violation, not a smaller starvation — reject it.
     let still_starves = |plan: &FaultPlan, replays: &mut usize| {
         *replays += 1;
-        run_plan(sc, plan, v.seed).violations.iter().any(|w| {
-            matches!(&w.kind, ViolationKind::WaitFreedom { process: p, .. } if *p == process)
+        catch_unwind(AssertUnwindSafe(|| run_plan(sc, plan, seed))).is_ok_and(|outcome| {
+            outcome.violations.iter().any(|w| {
+                matches!(&w.kind, ViolationKind::WaitFreedom { process: p, .. } if *p == process)
+            })
         })
     };
     loop {
@@ -132,11 +145,69 @@ fn shrink_plan(sc: &Scenario, v: &mut Violation, process: usize) -> usize {
                 break;
             }
         }
+        if improved {
+            continue;
+        }
+        for idx in 0..v.plan.net_faults.len() {
+            let mut candidate = v.plan.clone();
+            candidate.net_faults.remove(idx);
+            if still_starves(&candidate, &mut replays) {
+                v.plan = candidate;
+                improved = true;
+                break;
+            }
+        }
         if !improved || replays >= MAX_REPLAYS {
             // Re-record the (possibly changed) violating schedule for the
             // final plan so the artifact replays against what it stores.
             let outcome = run_plan(sc, &v.plan, v.seed);
             v.schedule = outcome.schedule.iter().map(|p| p.0).collect();
+            return replays;
+        }
+    }
+}
+
+/// Drops plan components one at a time, keeping each drop after which the
+/// run still panics (the [`crate::run::replay`] criterion for panic
+/// artifacts). The payload is re-recorded from the final minimal plan so the
+/// artifact documents the panic it actually replays.
+fn shrink_panic(sc: &Scenario, v: &mut Violation) -> usize {
+    let mut replays = 0;
+    let seed = v.seed;
+    let still_panics = |plan: &FaultPlan, replays: &mut usize| -> Option<String> {
+        *replays += 1;
+        catch_unwind(AssertUnwindSafe(|| run_plan(sc, plan, seed)))
+            .err()
+            .map(|payload| payload_string(payload.as_ref()))
+    };
+    let mut payload_now = match &v.kind {
+        ViolationKind::Panic { payload } => payload.clone(),
+        _ => unreachable!("shrink_panic only sees panic violations"),
+    };
+    loop {
+        let mut improved = false;
+        macro_rules! try_drop {
+            ($field:ident) => {
+                if !improved {
+                    for idx in 0..v.plan.$field.len() {
+                        let mut candidate = v.plan.clone();
+                        candidate.$field.remove(idx);
+                        if let Some(p) = still_panics(&candidate, &mut replays) {
+                            v.plan = candidate;
+                            payload_now = p;
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+            };
+        }
+        try_drop!(net_faults);
+        try_drop!(crashes);
+        try_drop!(stops);
+        try_drop!(fd_faults);
+        if !improved || replays >= MAX_REPLAYS {
+            v.kind = ViolationKind::Panic { payload: payload_now };
             return replays;
         }
     }
@@ -193,6 +264,40 @@ mod tests {
         let pids = v.schedule_pids();
         assert!(still_violates(&sc, &v, &reason, &pids));
         assert!(!still_violates(&sc, &v, &reason, &pids[..pids.len() - 1]));
+    }
+
+    #[test]
+    fn panic_shrink_drops_irrelevant_faults() {
+        // A majority-breaking partition strands quorum ops; the crash and
+        // the sample loss riding along have nothing to do with it and must
+        // be shrunk away. The partition itself must survive.
+        let sc = Scenario::ksa_net();
+        let plan = FaultPlan::clean().partition(vec![0, 1], 0).crash_s(2, 5).lose(0, 2);
+        let payload = catch_unwind(AssertUnwindSafe(|| run_plan(&sc, &plan, 3)))
+            .expect_err("majority-breaking partition must strand a quorum op");
+        let mut v = Violation {
+            scenario: sc.name.clone(),
+            seed: 3,
+            plan,
+            kind: ViolationKind::Panic {
+                payload: crate::run::payload_string(payload.as_ref()),
+            },
+            schedule: Vec::new(),
+            original_len: 0,
+        };
+        let replays = shrink(&mut v);
+        assert!(replays > 0);
+        assert!(v.plan.crashes.is_empty(), "irrelevant crash survived: {}", v.plan.describe());
+        assert!(v.plan.fd_faults.is_empty(), "irrelevant loss survived: {}", v.plan.describe());
+        assert_eq!(v.plan.net_faults.len(), 1, "{}", v.plan.describe());
+        match &v.kind {
+            ViolationKind::Panic { payload } => {
+                assert!(payload.contains("net: quorum unreachable"), "{payload}");
+            }
+            other => panic!("shrink changed the kind: {other}"),
+        }
+        let verdict = replay(&v).unwrap();
+        assert!(verdict.reproduced, "{}", verdict.detail);
     }
 
     #[test]

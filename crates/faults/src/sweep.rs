@@ -36,6 +36,9 @@ enum Component {
     Freeze(usize, u64),
     Delay(u64),
     Clear(u64),
+    NetPartition(usize, u64),
+    NetDrop(usize, u64, u64),
+    NetHeal(u64),
 }
 
 /// Bounded-DFS enumeration of fault plans for one scenario.
@@ -50,6 +53,7 @@ pub struct PlanSearch {
     components: Vec<Component>,
     depth: usize,
     n: usize,
+    net_nodes: usize,
 }
 
 impl PlanSearch {
@@ -72,7 +76,19 @@ impl PlanSearch {
         }
         components.push(Component::Delay(sc.stab));
         components.push(Component::Clear(2 * sc.stab));
-        PlanSearch { components, depth, n: sc.n }
+        if sc.net_nodes > 0 {
+            // Single-replica partitions and bounded drop windows: the
+            // adversary stays inside the ABD majority assumption, so these
+            // probe the protocol's liveness rather than exceed its model
+            // (majority-breaking plans are built by hand, not swept — the
+            // all-crash exclusion's analogue).
+            for node in 0..sc.net_nodes {
+                components.push(Component::NetPartition(node, sc.stab));
+                components.push(Component::NetDrop(node, 0, sc.stab));
+            }
+            components.push(Component::NetHeal(2 * sc.stab));
+        }
+        PlanSearch { components, depth, n: sc.n, net_nodes: sc.net_nodes }
     }
 
     /// Every valid plan with at most `depth` components (clean plan first).
@@ -143,9 +159,46 @@ impl PlanSearch {
                     }
                     plan = plan.clear_at(*t);
                 }
+                Component::NetPartition(node, t) => {
+                    if plan
+                        .net_faults
+                        .iter()
+                        .any(|f| matches!(f, wfa_net::config::NetFault::Partition { .. }))
+                    {
+                        return None;
+                    }
+                    plan = plan.partition(vec![*node], *t);
+                }
+                Component::NetDrop(node, at, until) => {
+                    if plan.net_faults.iter().any(
+                        |f| matches!(f, wfa_net::config::NetFault::Drop { node: d, .. } if d == node),
+                    ) {
+                        return None;
+                    }
+                    plan = plan.drop_link(*node, *at, *until);
+                }
+                Component::NetHeal(t) => {
+                    let has_partition = plan
+                        .net_faults
+                        .iter()
+                        .any(|f| matches!(f, wfa_net::config::NetFault::Partition { .. }));
+                    let has_heal = plan
+                        .net_faults
+                        .iter()
+                        .any(|f| matches!(f, wfa_net::config::NetFault::Heal { .. }));
+                    if !has_partition || has_heal {
+                        return None;
+                    }
+                    plan = plan.heal(*t);
+                }
             }
         }
         if plan.crashes.len() >= self.n {
+            return None;
+        }
+        // The search never exceeds the ABD model: every emitted plan keeps a
+        // reachable majority (the all-crash exclusion's network analogue).
+        if self.net_nodes > 0 && !plan.net_majority_safe(self.net_nodes) {
             return None;
         }
         Some(plan)
@@ -349,6 +402,40 @@ mod tests {
             .iter()
             .any(|p| matches!(p.fd_faults.first(), Some(FdFault::Lose { .. }))
                 && p.clear_after.is_some()));
+    }
+
+    #[test]
+    fn net_scenarios_sweep_majority_safe_network_plans() {
+        use wfa_net::config::NetFault;
+
+        let sc = Scenario::ksa_net();
+        let plans = PlanSearch::for_scenario(&sc, 2).plans();
+        // The menu actually contributes: partitions, drops and a heal show
+        // up, and heals only ever ride along with a partition.
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Partition { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Drop { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Heal { .. }))));
+        for p in &plans {
+            assert!(p.net_majority_safe(sc.net_nodes), "model-exceeding plan: {}", p.describe());
+            if p.net_faults.iter().any(|f| matches!(f, NetFault::Heal { .. })) {
+                assert!(
+                    p.net_faults.iter().any(|f| matches!(f, NetFault::Partition { .. })),
+                    "heal with nothing to heal: {}",
+                    p.describe()
+                );
+            }
+        }
+        // Shared-memory scenarios get no network components.
+        assert!(PlanSearch::for_scenario(&Scenario::ksa(), 2)
+            .plans()
+            .iter()
+            .all(|p| p.net_faults.is_empty()));
     }
 
     #[test]

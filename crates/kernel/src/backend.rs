@@ -1,0 +1,133 @@
+//! Pluggable register-file backends.
+//!
+//! The model's processes see an addressed file of atomic MWMR registers
+//! through [`crate::process::StepCtx`]. By default those registers *are* the
+//! executor's in-process [`SharedMemory`] — the base model of §2.1. A
+//! [`MemoryBackend`] replaces that substrate with any other linearizable
+//! register implementation (the `wfa-net` crate provides an ABD-style
+//! quorum-replicated emulation over simulated message passing) without
+//! changing a single automaton: each `StepCtx::read`/`write`/`snapshot`
+//! routes through the backend, which must make the operation appear atomic
+//! at some point inside the step.
+//!
+//! Contract, in order of importance:
+//!
+//! 1. **Linearizability** — each operation takes effect atomically between
+//!    its invocation and its return. Because the kernel invokes at most one
+//!    operation per schedule step and the backend completes it before the
+//!    step returns, operations are sequential; a correct backend therefore
+//!    behaves exactly like [`SharedMemory`] at the interface, and runs over
+//!    any backend produce the *same outputs* as shared-memory runs under the
+//!    same schedule.
+//! 2. **Determinism** — the backend must be a pure function of its
+//!    construction inputs and the operation sequence (no wall clock, no OS
+//!    randomness), so runs stay replayable.
+//! 3. **Fingerprint coverage** — [`MemoryBackend::fingerprint`] must cover
+//!    all state that affects future behaviour, mirroring what `Clone`
+//!    copies, so forked runs dedupe correctly in the model checker.
+
+use std::hash::Hasher;
+
+use crate::memory::{RegKey, SharedMemory};
+use crate::value::{Pid, Value};
+
+/// An alternative substrate for the shared register file.
+///
+/// Object-safe; the executor stores `Box<dyn MemoryBackend>` and the box is
+/// `Clone`/`Debug` via [`MemoryBackend::clone_backend`] and
+/// [`MemoryBackend::label`] (the same pattern as `DynProcess`).
+pub trait MemoryBackend: Send + Sync {
+    /// Performs an atomic read of `key` on behalf of `me` at logical time
+    /// `now`.
+    fn read(&mut self, me: Pid, now: u64, key: RegKey) -> Value;
+
+    /// Performs an atomic write of `val` to `key` on behalf of `me` at
+    /// logical time `now`.
+    fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value);
+
+    /// The linearized register contents, for verifiers and displays (the
+    /// backend analogue of [`crate::executor::Executor::memory`]).
+    fn view(&self) -> &SharedMemory;
+
+    /// Hashes all behaviour-affecting backend state (see module docs).
+    fn fingerprint(&self, h: &mut dyn Hasher);
+
+    /// Clones the backend behind the trait object.
+    fn clone_backend(&self) -> Box<dyn MemoryBackend>;
+
+    /// Human-readable label for debug displays.
+    fn label(&self) -> String {
+        "backend".to_string()
+    }
+}
+
+impl Clone for Box<dyn MemoryBackend> {
+    fn clone(&self) -> Self {
+        self.clone_backend()
+    }
+}
+
+impl std::fmt::Debug for Box<dyn MemoryBackend> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemoryBackend({})", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A backend that is just a wrapped `SharedMemory` — the identity
+    /// emulation, used to prove the seam is transparent.
+    #[derive(Clone, Debug, Default)]
+    struct Passthrough {
+        mem: SharedMemory,
+    }
+
+    impl MemoryBackend for Passthrough {
+        fn read(&mut self, _me: Pid, _now: u64, key: RegKey) -> Value {
+            self.mem.read(key)
+        }
+
+        fn write(&mut self, _me: Pid, _now: u64, key: RegKey, val: Value) {
+            self.mem.write(key, val);
+        }
+
+        fn view(&self) -> &SharedMemory {
+            &self.mem
+        }
+
+        fn fingerprint(&self, mut h: &mut dyn Hasher) {
+            self.mem.fingerprint(&mut h);
+        }
+
+        fn clone_backend(&self) -> Box<dyn MemoryBackend> {
+            Box::new(self.clone())
+        }
+
+        fn label(&self) -> String {
+            "passthrough".to_string()
+        }
+    }
+
+    #[test]
+    fn boxed_backend_clones_and_debugs() {
+        let mut b: Box<dyn MemoryBackend> = Box::<Passthrough>::default();
+        b.write(Pid(0), 0, RegKey::new(1), Value::Int(9));
+        let c = b.clone();
+        assert_eq!(c.view().peek(RegKey::new(1)), Value::Int(9));
+        assert_eq!(format!("{c:?}"), "MemoryBackend(passthrough)");
+    }
+
+    #[test]
+    fn passthrough_matches_shared_memory() {
+        let mut b = Passthrough::default();
+        let key = RegKey::new(0).at(2, 3);
+        assert_eq!(b.read(Pid(1), 0, key), Value::Unit);
+        b.write(Pid(1), 1, key, Value::Int(7));
+        assert_eq!(b.read(Pid(2), 2, key), Value::Int(7));
+        let mut direct = SharedMemory::new();
+        direct.write(key, Value::Int(7));
+        assert_eq!(b.view().peek(key), direct.peek(key));
+    }
+}

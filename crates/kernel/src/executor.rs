@@ -22,6 +22,7 @@ use wfa_obs::metrics::{Counter, MetricsHandle};
 use wfa_obs::span::{seq, EventKind, ObsEvent, Op};
 use wfa_obs::{local as obs_local};
 
+use crate::backend::MemoryBackend;
 use crate::memory::SharedMemory;
 use crate::process::{DynProcess, Status, StepCtx};
 use crate::trace::{Trace, TraceEvent};
@@ -90,6 +91,10 @@ fn slot_fp(index: usize, status: &Status, proc: &dyn DynProcess) -> u64 {
 #[derive(Clone, Debug, Default)]
 pub struct Executor {
     mem: SharedMemory,
+    /// When set, register operations route through this backend instead of
+    /// `mem` (see [`crate::backend`]); `None` is the base shared-memory
+    /// model and pays nothing.
+    backend: Option<Box<dyn MemoryBackend>>,
     slots: Vec<Slot>,
     /// XOR of the cached per-slot fingerprints — the incremental "process
     /// side" of [`Executor::fingerprint`].
@@ -133,9 +138,26 @@ impl Executor {
         self.clock
     }
 
-    /// The shared memory (for verifiers; processes go through [`StepCtx`]).
+    /// The shared register contents (for verifiers; processes go through
+    /// [`StepCtx`]). With a backend installed this is the backend's
+    /// linearized view, so verifiers work unchanged across substrates.
     pub fn memory(&self) -> &SharedMemory {
-        &self.mem
+        match &self.backend {
+            Some(b) => b.view(),
+            None => &self.mem,
+        }
+    }
+
+    /// Installs a register backend; all subsequent steps route their memory
+    /// operations through it. The executor's own `SharedMemory` is left
+    /// untouched (and empty, unless steps ran before the install).
+    pub fn set_backend(&mut self, backend: Box<dyn MemoryBackend>) {
+        self.backend = Some(backend);
+    }
+
+    /// The installed register backend, if any.
+    pub fn backend(&self) -> Option<&dyn MemoryBackend> {
+        self.backend.as_deref()
     }
 
     /// Current status of process `pid`.
@@ -185,7 +207,10 @@ impl Executor {
                 slot.proc = slot.proc.clone_arc();
             }
             let proc = Arc::get_mut(&mut slot.proc).expect("uniquely owned after copy-on-write");
-            let mut ctx = StepCtx::new(&mut self.mem, fd, now, pid, 1);
+            let mut ctx = match &mut self.backend {
+                Some(b) => StepCtx::with_backend(b.as_mut(), fd, now, pid, 1),
+                None => StepCtx::new(&mut self.mem, fd, now, pid, 1),
+            };
             slot.status = if obs.is_enabled() {
                 // Install the recording context so automata (which cannot
                 // hold a handle — they must stay `Clone + Hash`) can record
@@ -281,7 +306,10 @@ impl Executor {
     /// rehashing the full run state per visited node.
     pub fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.mem.fingerprint(&mut h);
+        match &self.backend {
+            Some(b) => b.fingerprint(&mut h),
+            None => self.mem.fingerprint(&mut h),
+        }
         self.procs_fp.hash(&mut h);
         h.finish()
     }

@@ -39,6 +39,7 @@
 //! assert_eq!(ex.output_vector(), vec![Value::Int(3), Value::Int(5)]);
 //! ```
 
+pub mod backend;
 pub mod executor;
 pub mod memory;
 pub mod pmap;
@@ -49,6 +50,7 @@ pub mod value;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::backend::MemoryBackend;
     pub use crate::executor::Executor;
     pub use crate::memory::{RegKey, SharedMemory};
     pub use crate::process::{DynProcess, Process, Status, StepCtx};

@@ -1,0 +1,296 @@
+//! ABD-style quorum-replicated MWMR register emulation.
+//!
+//! Implements the kernel's [`MemoryBackend`] interface over the simulated
+//! network: each replica holds a timestamped copy of every register, and
+//! each logical operation is the classic two-phase majority protocol
+//! [Attiya, Bar-Noy, Dolev, JACM 1995; multi-writer à la Lynch-Shvartsman]:
+//!
+//! * **read(key)** — phase 1 queries a majority for their `(tag, value)`
+//!   and picks the maximum tag; phase 2 writes that pair back to a majority
+//!   (the read must be ordered after the write it observed before
+//!   returning).
+//! * **write(key, v)** — phase 1 queries a majority for the maximum tag
+//!   `(ts, _)`; phase 2 stores `((ts+1, writer), v)` at a majority.
+//!
+//! Tags are `(sequence, writer pid)` pairs ordered lexicographically, which
+//! makes concurrent writers' tags unique and totally ordered. Any two
+//! majorities intersect, so every phase-1 query sees the globally latest
+//! completed write — that is the whole linearizability argument, and it
+//! holds under message loss, duplication, reordering (non-FIFO mode) and
+//! minority partitions.
+//!
+//! Because the kernel invokes one operation per schedule step and the
+//! emulation completes it within the step, operations are sequential; the
+//! emulation is then *observationally identical* to `SharedMemory` (each
+//! read returns the last value written), which is what lets every algorithm
+//! in the tree run unchanged over the network — and what the cross-backend
+//! equivalence tests pin.
+//!
+//! When a fault plan cuts a majority away for longer than the
+//! retransmission budget, the protocol cannot terminate; the backend
+//! panics with a structured `net: quorum unreachable` report, which the
+//! fault harness's panic isolation turns into a replayable violation.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use wfa_kernel::backend::MemoryBackend;
+use wfa_kernel::memory::{RegKey, SharedMemory};
+use wfa_kernel::value::{Pid, Value};
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::{Counter, HistKind};
+use wfa_obs::span::{seq, EventKind, SpanKind};
+
+use crate::config::NetConfig;
+use crate::runtime::NetRuntime;
+
+/// A write tag: `(sequence number, writer pid)`, ordered lexicographically.
+/// The derived `Ord` is exactly the ABD tag order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+struct Tag(u64, u64);
+
+/// One replica's register store: the tagged latest-known copy per key.
+type Store = BTreeMap<RegKey, (Tag, Value)>;
+
+/// The quorum-replicated register file. Drop-in [`MemoryBackend`]:
+/// `Executor::set_backend(Box::new(AbdBackend::new(cfg)))` reroutes every
+/// register operation of a run through the network.
+#[derive(Clone, Debug)]
+pub struct AbdBackend {
+    net: NetRuntime,
+    replicas: Vec<Store>,
+    /// The linearized contents — what each operation's outcome agreed to.
+    /// Serves [`MemoryBackend::view`] and doubles as a self-check: a
+    /// quorum read that disagrees with the view would be a linearizability
+    /// bug in the emulation (debug-asserted).
+    view: SharedMemory,
+}
+
+impl AbdBackend {
+    /// A backend over a fresh network with empty replicas.
+    pub fn new(cfg: NetConfig) -> AbdBackend {
+        let replicas = vec![Store::new(); cfg.nodes];
+        AbdBackend { net: NetRuntime::new(cfg), replicas, view: SharedMemory::new() }
+    }
+
+    /// The underlying network runtime (for inspection in tests/CLI).
+    pub fn runtime(&self) -> &NetRuntime {
+        &self.net
+    }
+
+    /// Runs one protocol phase: a quorum round trip, returning the quorum,
+    /// the replicas that received the request, and the completion tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured `net: quorum unreachable` report when the
+    /// network denies a majority for longer than the retransmission budget.
+    fn phase(&mut self, op: &str, key: RegKey, me: Pid) -> (Vec<usize>, Vec<usize>, u64) {
+        match self.net.quorum_round() {
+            Ok(q) => q,
+            Err(answered) => panic!(
+                "net: quorum unreachable: op={op} key=[{}:{},{}] pid={} tick={} answered={answered} needed={} nodes={}",
+                key.ns,
+                key.ix[0],
+                key.ix[1],
+                me.0,
+                self.net.now(),
+                self.net.config().quorum(),
+                self.net.config().nodes,
+            ),
+        }
+    }
+
+    /// The maximum `(tag, value)` pair for `key` across the quorum
+    /// (`(Tag::default(), ⊥)` when no quorum member has a copy).
+    fn collect_max(&self, quorum: &[usize], key: RegKey) -> (Tag, Value) {
+        quorum
+            .iter()
+            .filter_map(|n| self.replicas[*n].get(&key))
+            .max_by_key(|(t, _)| *t)
+            .cloned()
+            .unwrap_or((Tag::default(), Value::Unit))
+    }
+
+    /// Stores `(tag, val)` for `key` at every replica in `nodes`, keeping
+    /// the per-replica maximum (store requests are idempotent and ordered
+    /// by tag, so duplicates and stale retransmissions are harmless).
+    fn apply(&mut self, nodes: &[usize], key: RegKey, tag: Tag, val: &Value) {
+        for n in nodes {
+            let store = &mut self.replicas[*n];
+            match store.get(&key) {
+                Some((t, _)) if *t >= tag => {}
+                _ => {
+                    store.insert(key, (tag, val.clone()));
+                }
+            }
+        }
+    }
+}
+
+impl MemoryBackend for AbdBackend {
+    fn read(&mut self, me: Pid, _now: u64, key: RegKey) -> Value {
+        let start = self.net.now();
+        // Phase 1: query a majority for the latest tagged copy.
+        let (quorum, _, _) = self.phase("read", key, me);
+        let (tag, val) = self.collect_max(&quorum, key);
+        // Phase 2: write the observed pair back so the read is ordered
+        // after the write it saw.
+        let (_, delivered, done) = self.phase("read-back", key, me);
+        self.apply(&delivered, key, tag, &val);
+        obs_local::bump(Counter::NetQuorumReads);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
+        obs_local::observe(HistKind::QuorumLatency, done - start);
+        // Sequential ops ⇒ the quorum value is the linearized value.
+        debug_assert_eq!(val, self.view.peek(key), "ABD read diverged from the linearized view");
+        val
+    }
+
+    fn write(&mut self, me: Pid, _now: u64, key: RegKey, val: Value) {
+        let start = self.net.now();
+        // Phase 1: learn the maximum tag a majority has seen.
+        let (quorum, _, _) = self.phase("write", key, me);
+        let (Tag(ts, _), _) = self.collect_max(&quorum, key);
+        let tag = Tag(ts + 1, me.0 as u64);
+        // Phase 2: store the new tagged value at (at least) a majority.
+        let (_, delivered, done) = self.phase("write-store", key, me);
+        self.apply(&delivered, key, tag, &val);
+        obs_local::bump(Counter::NetQuorumWrites);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
+        obs_local::observe(HistKind::QuorumLatency, done - start);
+        self.view.write(key, val);
+    }
+
+    fn view(&self) -> &SharedMemory {
+        &self.view
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        self.view.fingerprint(&mut h);
+        self.net.hash(&mut h);
+        for store in &self.replicas {
+            store.len().hash(&mut h);
+            for (k, (t, v)) in store {
+                k.hash(&mut h);
+                t.hash(&mut h);
+                v.hash(&mut h);
+            }
+        }
+    }
+
+    fn clone_backend(&self) -> Box<dyn MemoryBackend> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        format!("abd(n={})", self.net.config().nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetFault;
+    use wfa_obs::metrics::MetricsHandle;
+
+    fn backend(nodes: usize, seed: u64) -> AbdBackend {
+        AbdBackend::new(NetConfig::new(nodes, seed))
+    }
+
+    #[test]
+    fn reads_see_the_latest_write_like_shared_memory() {
+        let mut abd = backend(5, 7);
+        let mut shm = SharedMemory::new();
+        let keys = [RegKey::new(1), RegKey::new(1).at(0, 3), RegKey::new(2).at(1, 1)];
+        for i in 0..60u64 {
+            let key = keys[(i % 3) as usize];
+            if i % 4 == 0 {
+                let v = Value::Int(i as i64);
+                abd.write(Pid((i % 5) as usize), i, key, v.clone());
+                shm.write(key, v);
+            } else {
+                assert_eq!(abd.read(Pid((i % 5) as usize), i, key), shm.peek(key), "op {i}");
+            }
+        }
+        assert_eq!(abd.view().content_fingerprint(), shm.content_fingerprint());
+    }
+
+    #[test]
+    fn tags_grow_and_order_writers() {
+        let mut abd = backend(3, 1);
+        let key = RegKey::new(0);
+        abd.write(Pid(0), 0, key, Value::Int(1));
+        abd.write(Pid(2), 1, key, Value::Int(2));
+        let (tag, val) = abd.collect_max(&[0, 1, 2], key);
+        assert_eq!(tag, Tag(2, 2));
+        assert_eq!(val, Value::Int(2));
+    }
+
+    #[test]
+    fn unwritten_registers_read_bottom() {
+        let mut abd = backend(3, 9);
+        assert_eq!(abd.read(Pid(0), 0, RegKey::new(9)), Value::Unit);
+    }
+
+    #[test]
+    fn operations_survive_a_minority_partition() {
+        let cfg = NetConfig::new(5, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![3, 4] });
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(4);
+        abd.write(Pid(1), 0, key, Value::Int(77));
+        assert_eq!(abd.read(Pid(0), 1, key), Value::Int(77));
+        // The isolated replicas never saw the write.
+        assert!(abd.replicas[3].is_empty() && abd.replicas[4].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "net: quorum unreachable")]
+    fn majority_partition_panics_structurally() {
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
+        let mut abd = AbdBackend::new(cfg);
+        abd.write(Pid(0), 0, RegKey::new(0), Value::Int(1));
+    }
+
+    #[test]
+    fn backend_is_deterministic_and_forks() {
+        let run = |ops: usize| {
+            let mut abd = backend(5, 11);
+            for i in 0..ops as u64 {
+                abd.write(Pid(0), i, RegKey::new(0).at(0, (i % 4) as u32), Value::Int(i as i64));
+            }
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            MemoryBackend::fingerprint(&abd, &mut h);
+            h.finish()
+        };
+        assert_eq!(run(10), run(10));
+        assert_ne!(run(10), run(11));
+
+        // Forking: a cloned backend evolves independently.
+        let mut a = backend(3, 2);
+        a.write(Pid(0), 0, RegKey::new(0), Value::Int(1));
+        let mut b: Box<dyn MemoryBackend> = a.clone_backend();
+        b.write(Pid(1), 1, RegKey::new(0), Value::Int(2));
+        assert_eq!(a.read(Pid(0), 2, RegKey::new(0)), Value::Int(1));
+        assert_eq!(b.read(Pid(0), 2, RegKey::new(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn counters_cover_the_message_flow() {
+        let obs = MetricsHandle::counters();
+        let mut abd = backend(3, 5);
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, RegKey::new(0), Value::Int(4));
+            abd.read(Pid(1), 1, RegKey::new(0));
+        }
+        assert_eq!(obs.get(Counter::NetQuorumWrites), 1);
+        assert_eq!(obs.get(Counter::NetQuorumReads), 1);
+        // 2 ops × 2 phases × 3 replicas × request+reply = 24 messages.
+        assert_eq!(obs.get(Counter::NetMsgsSent), 24);
+        assert_eq!(obs.get(Counter::NetMsgsDelivered), 24);
+        let snap = obs.snapshot().unwrap();
+        assert!(snap.hists.iter().any(|(n, b)| n == "quorum_latency" && !b.is_empty()));
+    }
+}

@@ -1,0 +1,283 @@
+//! Network configuration: topology, link behaviour, and injected faults.
+//!
+//! A [`NetConfig`] plays the same role for the simulated network that a
+//! schedule seed plays for the kernel: it fully determines every delivery
+//! decision the runtime makes, so a network run is replayable from the
+//! config alone. All times are *network ticks* — the runtime's internal
+//! logical clock, advanced only by message activity (never by wall clock).
+
+use wfa_obs::json::Json;
+
+/// A declarative network fault, timed in network ticks.
+///
+/// Faults compose with the process-level `FaultPlan` of `wfa-faults`: a plan
+/// carries a list of `NetFault`s which the fault harness hands to the
+/// backend at construction time.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NetFault {
+    /// From tick `at`, the listed replica nodes are unreachable (every
+    /// message to or from them is dropped) until a later [`NetFault::Heal`].
+    Partition {
+        /// Start of the partition.
+        at: u64,
+        /// The isolated replica indices.
+        nodes: Vec<usize>,
+    },
+    /// From tick `at`, any active partition is healed.
+    Heal {
+        /// Time of the heal.
+        at: u64,
+    },
+    /// Node `node`'s links drop every message in the window `[at, until)`.
+    Drop {
+        /// Start of the lossy window.
+        at: u64,
+        /// End (exclusive) of the lossy window.
+        until: u64,
+        /// The affected replica index.
+        node: usize,
+    },
+}
+
+impl NetFault {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> Json {
+        match self {
+            NetFault::Partition { at, nodes } => Json::Obj(vec![
+                ("type".into(), Json::Str("partition".into())),
+                ("at".into(), Json::Num(*at)),
+                (
+                    "nodes".into(),
+                    Json::Arr(nodes.iter().map(|n| Json::Num(*n as u64)).collect()),
+                ),
+            ]),
+            NetFault::Heal { at } => Json::Obj(vec![
+                ("type".into(), Json::Str("heal".into())),
+                ("at".into(), Json::Num(*at)),
+            ]),
+            NetFault::Drop { at, until, node } => Json::Obj(vec![
+                ("type".into(), Json::Str("drop".into())),
+                ("at".into(), Json::Num(*at)),
+                ("until".into(), Json::Num(*until)),
+                ("node".into(), Json::Num(*node as u64)),
+            ]),
+        }
+    }
+
+    /// Parses a fault encoded by [`NetFault::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape mismatch.
+    pub fn from_json(json: &Json) -> Result<NetFault, String> {
+        let typ = json
+            .get("type")
+            .and_then(Json::str)
+            .ok_or("net fault lacks `type`")?;
+        let at = json.get("at").and_then(Json::num).ok_or("net fault lacks `at`")?;
+        match typ {
+            "partition" => {
+                let nodes = json
+                    .get("nodes")
+                    .and_then(Json::arr)
+                    .ok_or("partition lacks `nodes`")?
+                    .iter()
+                    .map(|n| n.num().map(|v| v as usize).ok_or("bad partition node"))
+                    .collect::<Result<Vec<usize>, &str>>()?;
+                Ok(NetFault::Partition { at, nodes })
+            }
+            "heal" => Ok(NetFault::Heal { at }),
+            "drop" => Ok(NetFault::Drop {
+                at,
+                until: json.get("until").and_then(Json::num).ok_or("drop lacks `until`")?,
+                node: json.get("node").and_then(Json::num).ok_or("drop lacks `node`")? as usize,
+            }),
+            other => Err(format!("unknown net fault type `{other}`")),
+        }
+    }
+
+    /// One-line rendering for plan descriptions.
+    pub fn describe(&self) -> String {
+        match self {
+            NetFault::Partition { at, nodes } => {
+                let ns: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+                format!("partition({}@{at})", ns.join("+"))
+            }
+            NetFault::Heal { at } => format!("heal(@{at})"),
+            NetFault::Drop { at, until, node } => format!("drop({node}@{at}..{until})"),
+        }
+    }
+}
+
+/// Checks the ABD liveness precondition against a fault list: every
+/// partition must leave a strict majority of the `nodes` replicas reachable.
+/// A later [`NetFault::Heal`] is deliberately *not* credited — quorum
+/// operations are synchronous with a bounded retransmission horizon, so a
+/// heal rescues an operation only when it lands inside that horizon, which
+/// depends on when the operation runs, not on the fault list alone. Fault
+/// lists failing this check are still runnable — they are exactly the plans
+/// expected to strand a quorum operation (a structured, replayable
+/// violation).
+pub fn majority_safe(faults: &[NetFault], nodes: usize) -> bool {
+    faults.iter().all(|f| match f {
+        NetFault::Partition { nodes: isolated, .. } => {
+            let cut: usize = isolated.iter().filter(|n| **n < nodes).count();
+            nodes - cut > nodes / 2
+        }
+        _ => true,
+    })
+}
+
+/// Full description of a simulated network: replica count, link timing,
+/// link-level misbehaviour, and timed faults. Determines every delivery
+/// decision; two runs with equal configs and equal operation sequences are
+/// identical.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NetConfig {
+    /// Number of replica nodes holding register copies.
+    pub nodes: usize,
+    /// Seed for per-message delay draws.
+    pub seed: u64,
+    /// Enforce per-channel FIFO delivery (deliveries on one channel never
+    /// reorder); `false` lets later messages overtake.
+    pub fifo: bool,
+    /// Minimum link delay, in ticks.
+    pub min_delay: u64,
+    /// Maximum link delay, in ticks (inclusive).
+    pub max_delay: u64,
+    /// Drop every k-th message (`0`: no periodic loss). Dropped messages are
+    /// recovered by retransmission rounds.
+    pub drop_every: u64,
+    /// Duplicate every k-th delivered message (`0`: never). Replicas are
+    /// idempotent, so duplicates only show up in the counters.
+    pub dup_every: u64,
+    /// Broadcast rounds to attempt before declaring a quorum unreachable.
+    pub max_rounds: u32,
+    /// Timed network faults.
+    pub faults: Vec<NetFault>,
+}
+
+impl NetConfig {
+    /// A healthy `nodes`-replica network with the default link timing.
+    pub fn new(nodes: usize, seed: u64) -> NetConfig {
+        NetConfig {
+            nodes,
+            seed,
+            fifo: true,
+            min_delay: 1,
+            max_delay: 4,
+            drop_every: 0,
+            dup_every: 0,
+            max_rounds: 3,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Majority quorum size for this topology.
+    pub fn quorum(&self) -> usize {
+        self.nodes / 2 + 1
+    }
+
+    /// See [`majority_safe`].
+    pub fn majority_safe(&self) -> bool {
+        majority_safe(&self.faults, self.nodes)
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with_fault(mut self, fault: NetFault) -> NetConfig {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nodes".into(), Json::Num(self.nodes as u64)),
+            ("seed".into(), Json::Num(self.seed)),
+            ("fifo".into(), Json::Bool(self.fifo)),
+            ("min_delay".into(), Json::Num(self.min_delay)),
+            ("max_delay".into(), Json::Num(self.max_delay)),
+            ("drop_every".into(), Json::Num(self.drop_every)),
+            ("dup_every".into(), Json::Num(self.dup_every)),
+            ("max_rounds".into(), Json::Num(self.max_rounds as u64)),
+            ("faults".into(), Json::Arr(self.faults.iter().map(NetFault::to_json).collect())),
+        ])
+    }
+
+    /// Parses a config encoded by [`NetConfig::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape mismatch.
+    pub fn from_json(json: &Json) -> Result<NetConfig, String> {
+        let num = |k: &str| json.get(k).and_then(Json::num).ok_or(format!("config lacks `{k}`"));
+        let mut faults = Vec::new();
+        if let Some(arr) = json.get("faults").and_then(Json::arr) {
+            for f in arr {
+                faults.push(NetFault::from_json(f)?);
+            }
+        }
+        Ok(NetConfig {
+            nodes: num("nodes")? as usize,
+            seed: num("seed")?,
+            fifo: json.get("fifo").and_then(Json::bool).unwrap_or(true),
+            min_delay: num("min_delay")?,
+            max_delay: num("max_delay")?,
+            drop_every: json.get("drop_every").and_then(Json::num).unwrap_or(0),
+            dup_every: json.get("dup_every").and_then(Json::num).unwrap_or(0),
+            max_rounds: num("max_rounds")? as u32,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = NetConfig::new(5, 42)
+            .with_fault(NetFault::Partition { at: 10, nodes: vec![3, 4] })
+            .with_fault(NetFault::Heal { at: 90 })
+            .with_fault(NetFault::Drop { at: 5, until: 9, node: 1 });
+        let back = NetConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn quorum_is_a_strict_majority() {
+        assert_eq!(NetConfig::new(3, 0).quorum(), 2);
+        assert_eq!(NetConfig::new(4, 0).quorum(), 3);
+        assert_eq!(NetConfig::new(5, 0).quorum(), 3);
+    }
+
+    #[test]
+    fn majority_safety_classification() {
+        // Isolating a minority keeps the majority precondition.
+        assert!(majority_safe(&[NetFault::Partition { at: 0, nodes: vec![4] }], 5));
+        // Isolating a majority breaks it…
+        assert!(!majority_safe(&[NetFault::Partition { at: 0, nodes: vec![0, 1, 2] }], 5));
+        // …and a later heal is not credited statically: it rescues an
+        // operation only when it lands inside the op's retransmission
+        // horizon, which the fault list alone cannot determine.
+        assert!(!majority_safe(
+            &[NetFault::Partition { at: 0, nodes: vec![0, 1, 2] }, NetFault::Heal { at: 7 }],
+            5
+        ));
+        // Healed *minority* partitions are safe like unhealed ones.
+        assert!(majority_safe(
+            &[NetFault::Partition { at: 0, nodes: vec![4] }, NetFault::Heal { at: 7 }],
+            5
+        ));
+        // Drops never break the precondition (retransmits recover).
+        assert!(majority_safe(&[NetFault::Drop { at: 0, until: 100, node: 0 }], 3));
+    }
+
+    #[test]
+    fn fault_descriptions() {
+        assert_eq!(NetFault::Partition { at: 9, nodes: vec![1, 2] }.describe(), "partition(1+2@9)");
+        assert_eq!(NetFault::Heal { at: 30 }.describe(), "heal(@30)");
+        assert_eq!(NetFault::Drop { at: 1, until: 4, node: 0 }.describe(), "drop(0@1..4)");
+    }
+}

@@ -1,0 +1,345 @@
+//! The deterministic simulated message-passing runtime.
+//!
+//! Models the asynchronous network under the replicated register emulation:
+//! one logical client side (the process currently taking a kernel step) and
+//! `nodes` replica endpoints, connected by point-to-point channels. Every
+//! message draws its link delay from a stateless mix of the config seed and
+//! a global message counter — no RNG state is stored, so the runtime hashes
+//! and forks like the rest of the kernel — and deliveries respect the
+//! configured channel discipline:
+//!
+//! * **FIFO** (default): per-channel delivery order equals send order (a
+//!   later message's delivery time is clamped to the channel's previous
+//!   delivery time).
+//! * **non-FIFO**: messages overtake freely.
+//!
+//! Time is *network ticks*: a logical clock advanced only by message
+//! activity. Faults ([`NetFault`]) are windows on this clock; the runtime
+//! consults the (immutable) fault list functionally rather than mutating
+//! partition state, which keeps replay trivially correct.
+//!
+//! Observability: the runtime counts messages through
+//! [`wfa_obs::local`] — the thread-local context the executor installs
+//! around each step — so counters land in whatever registry observes the
+//! run, without the runtime holding a handle (it must stay `Clone + Hash`).
+
+use std::hash::{Hash, Hasher};
+
+use wfa_obs::local as obs_local;
+use wfa_obs::metrics::Counter;
+use wfa_obs::span::{seq, EventKind, SpanKind};
+
+use crate::config::{NetConfig, NetFault};
+
+/// SplitMix64 finalizer — the statistically solid 64-bit mixer used to
+/// derive per-message delays from `(seed, message counter)` without storing
+/// RNG state.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One direction of a client↔replica channel pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Dir {
+    /// Client → replica (requests).
+    ToReplica,
+    /// Replica → client (replies).
+    ToClient,
+}
+
+/// The simulated network: clock, message counter, and per-channel FIFO
+/// watermarks. All remaining behaviour is a pure function of the config.
+#[derive(Clone, Debug)]
+pub struct NetRuntime {
+    cfg: NetConfig,
+    /// The network clock, in ticks; advances when quorum operations
+    /// complete or retransmission rounds back off.
+    now: u64,
+    /// Messages ever sent; drives the stateless delay draws.
+    msgs: u64,
+    /// Per-channel latest delivery tick: `[to_replica..., to_client...]`.
+    fifo_mark: Vec<u64>,
+}
+
+impl Hash for NetRuntime {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cfg.hash(state);
+        self.now.hash(state);
+        self.msgs.hash(state);
+        self.fifo_mark.hash(state);
+    }
+}
+
+impl NetRuntime {
+    /// A fresh network at tick 0.
+    pub fn new(cfg: NetConfig) -> NetRuntime {
+        let channels = cfg.nodes * 2;
+        NetRuntime { cfg, now: 0, msgs: 0, fifo_mark: vec![0; channels] }
+    }
+
+    /// The configuration this runtime replays.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The current network tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.msgs
+    }
+
+    /// Link delay of the `c`-th message: a seeded draw in
+    /// `[min_delay, max_delay]`.
+    fn delay(&self, c: u64) -> u64 {
+        let span = self.cfg.max_delay.saturating_sub(self.cfg.min_delay) + 1;
+        self.cfg.min_delay + mix(self.cfg.seed ^ c.wrapping_mul(0x517c_c1b7_2722_0a95)) % span
+    }
+
+    /// `true` iff replica `node` is inside an active partition at tick `t`
+    /// (the latest partition/heal event at or before `t` wins).
+    fn isolated(&self, node: usize, t: u64) -> bool {
+        let mut verdict = false;
+        let mut latest = 0u64;
+        for f in &self.cfg.faults {
+            match f {
+                NetFault::Partition { at, nodes } if *at <= t && *at >= latest => {
+                    latest = *at;
+                    verdict = nodes.contains(&node);
+                }
+                NetFault::Heal { at } if *at <= t && *at >= latest => {
+                    latest = *at;
+                    verdict = false;
+                }
+                _ => {}
+            }
+        }
+        verdict
+    }
+
+    /// `true` iff a message touching `node`'s links at tick `t` is lost.
+    fn lossy(&self, node: usize, t: u64) -> bool {
+        self.isolated(node, t)
+            || self.cfg.faults.iter().any(|f| {
+                matches!(f, NetFault::Drop { at, until, node: d } if *d == node && *at <= t && t < *until)
+            })
+    }
+
+    /// Sends one message to (or from) replica `node` at tick `sent`;
+    /// returns its delivery tick, or `None` if a link dropped it.
+    fn transmit(&mut self, node: usize, dir: Dir, sent: u64) -> Option<u64> {
+        self.msgs += 1;
+        obs_local::bump(Counter::NetMsgsSent);
+        let periodic_drop = self.cfg.drop_every > 0 && self.msgs.is_multiple_of(self.cfg.drop_every);
+        if periodic_drop || self.lossy(node, sent) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        let dur = self.delay(self.msgs);
+        let mut arrive = sent + dur;
+        let channel = match dir {
+            Dir::ToReplica => node,
+            Dir::ToClient => self.cfg.nodes + node,
+        };
+        if self.cfg.fifo {
+            // FIFO: never deliver before the channel's previous delivery.
+            arrive = arrive.max(self.fifo_mark[channel]);
+        }
+        self.fifo_mark[channel] = arrive;
+        // A partition may have started while the message was in flight.
+        if self.lossy(node, arrive) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        obs_local::bump(Counter::NetMsgsDelivered);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::Channel, dur });
+        if self.cfg.dup_every > 0 && self.msgs.is_multiple_of(self.cfg.dup_every) {
+            // Idempotent replicas: the duplicate only shows in the counters.
+            obs_local::bump(Counter::NetMsgsDuplicated);
+            obs_local::bump(Counter::NetMsgsDelivered);
+        }
+        Some(arrive)
+    }
+
+    /// Runs one broadcast round trip to all replicas with retransmissions
+    /// until a majority replies, and advances the clock to the tick the
+    /// quorum completed.
+    ///
+    /// Returns `(responders, delivered, completion)`:
+    ///
+    /// * `responders` — the quorum: the first `quorum()` replicas whose
+    ///   replies arrived, in (reply tick, index) order. The phase reads
+    ///   *these* replicas' state.
+    /// * `delivered` — every replica that received the request in *any*
+    ///   round (they all applied it, even when their reply was lost;
+    ///   supersets of quorums are what make the emulation's writes stick).
+    /// * `completion` — the tick the `quorum()`-th reply arrived.
+    ///
+    /// # Errors
+    ///
+    /// After `max_rounds` incomplete rounds, returns the number of replicas
+    /// that answered in the final round (the caller panics with a
+    /// structured quorum-unreachable report — under the majority-correct
+    /// precondition this is unreachable).
+    pub fn quorum_round(&mut self) -> Result<(Vec<usize>, Vec<usize>, u64), usize> {
+        let need = self.cfg.quorum();
+        let round_span = 2 * self.cfg.max_delay + 1;
+        let mut answered = 0;
+        let mut delivered: Vec<usize> = Vec::new();
+        for round in 0..=self.cfg.max_rounds {
+            if round > 0 {
+                obs_local::bump(Counter::NetRetransmits);
+            }
+            let sent = self.now + u64::from(round) * round_span;
+            let mut acks: Vec<(u64, usize)> = Vec::new();
+            for node in 0..self.cfg.nodes {
+                // Track request deliveries even when the reply is lost: the
+                // replica applied the request either way.
+                if let Some(at_replica) = self.transmit(node, Dir::ToReplica, sent) {
+                    if !delivered.contains(&node) {
+                        delivered.push(node);
+                    }
+                    if let Some(done) = self.transmit(node, Dir::ToClient, at_replica) {
+                        acks.push((done, node));
+                    }
+                }
+            }
+            acks.sort_unstable();
+            if acks.len() >= need {
+                let completion = acks[need - 1].0;
+                let responders = acks[..need].iter().map(|(_, n)| *n).collect();
+                self.now = completion;
+                return Ok((responders, delivered, completion));
+            }
+            answered = acks.len();
+        }
+        self.now += u64::from(self.cfg.max_rounds) * round_span;
+        Err(answered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfa_obs::metrics::MetricsHandle;
+
+    fn healthy(nodes: usize) -> NetRuntime {
+        NetRuntime::new(NetConfig::new(nodes, 7))
+    }
+
+    #[test]
+    fn delays_are_seeded_and_bounded() {
+        let rt = healthy(3);
+        for c in 0..200 {
+            let d = rt.delay(c);
+            assert!((1..=4).contains(&d), "delay {d} out of range");
+        }
+        let other = NetRuntime::new(NetConfig::new(3, 8));
+        assert!((0..200).any(|c| rt.delay(c) != other.delay(c)), "seeds must matter");
+    }
+
+    #[test]
+    fn healthy_quorum_completes_without_retransmits() {
+        let obs = MetricsHandle::counters();
+        let mut rt = healthy(5);
+        let _g = obs_local::enter(&obs, 0, 0);
+        let (responders, delivered, done) = rt.quorum_round().expect("healthy net");
+        assert_eq!(responders.len(), 3);
+        assert_eq!(delivered.len(), 5);
+        assert!(done >= 2, "two link delays minimum");
+        assert_eq!(rt.now(), done);
+        assert_eq!(obs.get(Counter::NetRetransmits), 0);
+        assert_eq!(obs.get(Counter::NetMsgsSent), 10);
+        assert_eq!(obs.get(Counter::NetMsgsDelivered), 10);
+    }
+
+    #[test]
+    fn quorum_rounds_are_deterministic() {
+        let run = || {
+            let mut rt = healthy(5);
+            let mut log = Vec::new();
+            for _ in 0..10 {
+                log.push(rt.quorum_round().expect("healthy net"));
+            }
+            (log, rt.now(), rt.messages_sent())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fifo_deliveries_never_reorder_per_channel() {
+        let mut cfg = NetConfig::new(1, 3);
+        cfg.max_delay = 9; // wide spread to force overtakes without FIFO
+        let mut rt = NetRuntime::new(cfg.clone());
+        let mut last = 0;
+        for t in 0..50 {
+            if let Some(at) = rt.transmit(0, Dir::ToReplica, t) {
+                assert!(at >= last, "FIFO channel reordered: {at} after {last}");
+                last = at;
+            }
+        }
+        // The same schedule without FIFO does reorder somewhere.
+        cfg.fifo = false;
+        let mut free = NetRuntime::new(cfg);
+        let mut reordered = false;
+        let mut prev = 0;
+        for t in 0..50 {
+            if let Some(at) = free.transmit(0, Dir::ToReplica, t) {
+                reordered |= at < prev;
+                prev = at;
+            }
+        }
+        assert!(reordered, "non-FIFO run should overtake at least once");
+    }
+
+    #[test]
+    fn minority_partition_is_tolerated() {
+        let cfg = NetConfig::new(5, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![3, 4] });
+        let mut rt = NetRuntime::new(cfg);
+        let (responders, delivered, _) = rt.quorum_round().expect("majority reachable");
+        assert_eq!(responders.len(), 3);
+        assert!(responders.iter().all(|n| *n < 3));
+        assert_eq!(delivered.len(), 3);
+    }
+
+    #[test]
+    fn majority_partition_strands_the_quorum() {
+        let cfg = NetConfig::new(5, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1, 2] });
+        let mut rt = NetRuntime::new(cfg);
+        let answered = rt.quorum_round().expect_err("quorum must be unreachable");
+        assert!(answered <= 2);
+    }
+
+    #[test]
+    fn heal_restores_the_quorum_via_retransmission() {
+        let obs = MetricsHandle::counters();
+        let cfg = NetConfig::new(5, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1, 2] })
+            .with_fault(NetFault::Heal { at: 10 });
+        let mut rt = NetRuntime::new(cfg);
+        let _g = obs_local::enter(&obs, 0, 0);
+        let (responders, _, _) = rt.quorum_round().expect("healed in time");
+        assert_eq!(responders.len(), 3);
+        assert!(obs.get(Counter::NetRetransmits) > 0, "recovery needed retransmits");
+        assert!(obs.get(Counter::NetMsgsDropped) > 0);
+    }
+
+    #[test]
+    fn periodic_drops_are_recovered() {
+        let mut cfg = NetConfig::new(3, 7);
+        cfg.drop_every = 4;
+        cfg.max_rounds = 6;
+        let mut rt = NetRuntime::new(cfg);
+        for _ in 0..20 {
+            rt.quorum_round().expect("drops must be recovered by retransmits");
+        }
+    }
+}

@@ -57,6 +57,14 @@ impl Json {
         }
     }
 
+    /// The boolean, if this is one.
+    pub fn bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string, if this is one.
     pub fn str(&self) -> Option<&str> {
         match self {

@@ -16,7 +16,7 @@
 
 use std::cell::RefCell;
 
-use crate::metrics::{Counter, MetricsHandle};
+use crate::metrics::{Counter, HistKind, MetricsHandle};
 use crate::span::{EventKind, ObsEvent};
 
 struct LocalCtx {
@@ -63,6 +63,16 @@ pub fn add(counter: Counter, n: u64) {
     CURRENT.with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
             ctx.handle.add(counter, n);
+        }
+    });
+}
+
+/// Records `value` into histogram `h` in the installed context (no-op when
+/// none).
+pub fn observe(h: HistKind, value: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.handle.observe(h, value);
         }
     });
 }

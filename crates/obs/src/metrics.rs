@@ -78,10 +78,24 @@ pub enum Counter {
     SweepViolations,
     /// Replays spent shrinking violations.
     ShrinkReplays,
+    /// Messages sent by the simulated network runtime (requests + replies).
+    NetMsgsSent,
+    /// Messages delivered to a node's mailbox.
+    NetMsgsDelivered,
+    /// Messages dropped by links (partitions, drop windows, periodic loss).
+    NetMsgsDropped,
+    /// Messages duplicated by links.
+    NetMsgsDuplicated,
+    /// Broadcast rounds re-sent after an incomplete quorum.
+    NetRetransmits,
+    /// Quorum-replicated register reads completed.
+    NetQuorumReads,
+    /// Quorum-replicated register writes completed.
+    NetQuorumWrites,
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 22] = [
+pub const COUNTERS: [Counter; 29] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -104,6 +118,13 @@ pub const COUNTERS: [Counter; 22] = [
     Counter::SweepJobs,
     Counter::SweepViolations,
     Counter::ShrinkReplays,
+    Counter::NetMsgsSent,
+    Counter::NetMsgsDelivered,
+    Counter::NetMsgsDropped,
+    Counter::NetMsgsDuplicated,
+    Counter::NetRetransmits,
+    Counter::NetQuorumReads,
+    Counter::NetQuorumWrites,
 ];
 
 impl Counter {
@@ -132,6 +153,13 @@ impl Counter {
             Counter::SweepJobs => "sweep_jobs",
             Counter::SweepViolations => "sweep_violations",
             Counter::ShrinkReplays => "shrink_replays",
+            Counter::NetMsgsSent => "net_msgs_sent",
+            Counter::NetMsgsDelivered => "net_msgs_delivered",
+            Counter::NetMsgsDropped => "net_msgs_dropped",
+            Counter::NetMsgsDuplicated => "net_msgs_duplicated",
+            Counter::NetRetransmits => "net_retransmits",
+            Counter::NetQuorumReads => "net_quorum_reads",
+            Counter::NetQuorumWrites => "net_quorum_writes",
         }
     }
 
@@ -153,10 +181,13 @@ pub enum HistKind {
     /// Depth of each state batch an explorer worker expanded
     /// (**nondeterministic**: depends on how work was split).
     ShardDepth,
+    /// Simulated-network latency (delivery time minus send time) of each
+    /// completed quorum operation.
+    QuorumLatency,
 }
 
 /// All histograms, in canonical export order.
-pub const HISTS: [HistKind; 2] = [HistKind::PlanCost, HistKind::ShardDepth];
+pub const HISTS: [HistKind; 3] = [HistKind::PlanCost, HistKind::ShardDepth, HistKind::QuorumLatency];
 
 /// Buckets per histogram: bucket `i` holds values whose bit length is `i`
 /// (bucket 0 is exactly the value 0), so the largest `u64` lands in 64.
@@ -168,6 +199,7 @@ impl HistKind {
         match self {
             HistKind::PlanCost => "plan_cost",
             HistKind::ShardDepth => "shard_depth",
+            HistKind::QuorumLatency => "quorum_latency",
         }
     }
 
@@ -390,8 +422,11 @@ impl Snapshot {
         }
     }
 
-    /// Counters whose values differ: `(name, self_value, other_value)`.
-    /// Counters absent from one side compare as 0.
+    /// Metrics whose values differ: `(name, self_value, other_value)`.
+    /// Counters absent from one side compare as 0; histogram buckets diff
+    /// individually as `name[bucket]`, so two snapshots are equal exactly
+    /// when this is empty (`obs diff` exits nonzero on *any* drift, not just
+    /// counter drift).
     pub fn diff(&self, other: &Snapshot) -> Vec<(String, u64, u64)> {
         let mut names: Vec<&String> = self.counters.iter().map(|(n, _)| n).collect();
         for (n, _) in &other.counters {
@@ -399,14 +434,47 @@ impl Snapshot {
                 names.push(n);
             }
         }
-        names
+        let mut out: Vec<(String, u64, u64)> = names
             .into_iter()
             .filter_map(|n| {
                 let a = self.counter(n).unwrap_or(0);
                 let b = other.counter(n).unwrap_or(0);
                 (a != b).then(|| (n.clone(), a, b))
             })
-            .collect()
+            .collect();
+        let bucket = |snap: &Snapshot, name: &str, b: u64| -> u64 {
+            snap.hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, buckets)| buckets.iter().find(|(bi, _)| *bi == b))
+                .map_or(0, |(_, c)| *c)
+        };
+        let mut hist_names: Vec<&String> = self.hists.iter().map(|(n, _)| n).collect();
+        for (n, _) in &other.hists {
+            if !hist_names.contains(&n) {
+                hist_names.push(n);
+            }
+        }
+        for name in hist_names {
+            let mut buckets: Vec<u64> = Vec::new();
+            for snap in [self, other] {
+                if let Some((_, bs)) = snap.hists.iter().find(|(n, _)| n == name) {
+                    for (b, _) in bs {
+                        if !buckets.contains(b) {
+                            buckets.push(*b);
+                        }
+                    }
+                }
+            }
+            buckets.sort_unstable();
+            for b in buckets {
+                let (a, o) = (bucket(self, name, b), bucket(other, name, b));
+                if a != o {
+                    out.push((format!("{name}[{b}]"), a, o));
+                }
+            }
+        }
+        out
     }
 
     /// Canonical serialization (key order is declaration order, so equal

@@ -81,6 +81,12 @@ pub enum SpanKind {
     SweepJob,
     /// One explorer work batch (depth-labelled).
     ExplorerShard,
+    /// One quorum-replicated register operation over the simulated network
+    /// (duration = simulated network time spent collecting the quorums).
+    QuorumOp,
+    /// One message's traversal of a simulated channel (duration = link
+    /// delay); attributed to the process whose operation sent it.
+    Channel,
 }
 
 impl SpanKind {
@@ -92,6 +98,8 @@ impl SpanKind {
             SpanKind::ConsensusRound => "consensus_round",
             SpanKind::SweepJob => "sweep_job",
             SpanKind::ExplorerShard => "explorer_shard",
+            SpanKind::QuorumOp => "quorum_op",
+            SpanKind::Channel => "channel",
         }
     }
 }
@@ -150,6 +158,11 @@ pub mod seq {
     pub const FD_QUERY: u32 = 0;
     /// Advice reads/writes happen inside the step body.
     pub const ADVICE: u32 = 1;
+    /// Network/quorum activity also happens inside the step body; it shares
+    /// the intra-step slot with advice (the sort is stable and recording is
+    /// single-threaded within a step, so insertion order disambiguates
+    /// deterministically).
+    pub const NET: u32 = 1;
     /// The step itself (its memory op + decide flag).
     pub const STEP: u32 = 2;
     /// Outcomes attributed after the step (violations, span ends).

@@ -25,10 +25,15 @@
 //! * [`obs`] — deterministic observability: the metrics registry
 //!   (counters + log-scale histograms), stable-keyed span/event tracing,
 //!   and the canonical JSONL / Chrome-trace / ASCII-timeline exporters.
+//! * [`net`] — deterministic simulated message passing and the ABD-style
+//!   quorum-replicated register backend: every algorithm above also runs
+//!   over an asynchronous network with a correct majority, unchanged,
+//!   through the kernel's `MemoryBackend` seam.
 
 pub use wfa_algorithms as algorithms;
 pub use wfa_core as core;
 pub use wfa_faults as faults;
+pub use wfa_net as net;
 pub use wfa_obs as obs;
 pub use wfa_fd as fd;
 pub use wfa_kernel as kernel;
