@@ -158,12 +158,16 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
                     Err(e) => e.to_string(),
                 }),
             ),
+            ("degradations".into(), Json::Num(run.executor.degradations().len() as u64)),
             ("metrics".into(), obs.snapshot().expect("metrics enabled").to_json()),
         ]);
         println!("{obj}");
     } else {
         for (i, (inp, out)) in report.input.iter().zip(&report.output).enumerate() {
             println!("C{i}: input={inp} output={out} ({} own steps)", report.c_steps[i]);
+        }
+        for d in run.executor.degradations() {
+            println!("degraded : {d}");
         }
     }
     match (&report.verdict, slots) {
@@ -362,10 +366,12 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
          \tEnumerates every fault plan of ≤ D components (bounded DFS over\n\
          \tcrash points, starvation stops, FD sample corruption, advice\n\
          \tdelays and — for net-backed scenarios — majority-safe replica\n\
-         \tpartitions, drop windows and heals), evaluates S seeds per plan\n\
-         \twith panic isolation, shrinks\n\
-         \tthe violations and prints them. --out writes the canonical report\n\
-         \tJSON (byte-identical for every --threads value). Exits non-zero\n\
+         \tpartitions, drop windows, heals and crash/recover pairs inside\n\
+         \tthe recovery horizon), evaluates S seeds per plan with panic\n\
+         \tisolation, shrinks the violations and prints them. Majority-safe\n\
+         \tplans that still lose a quorum surface as typed `quorum-lost`\n\
+         \tviolations. --out writes the canonical report JSON\n\
+         \t(byte-identical for every --threads value). Exits non-zero\n\
          \tif violations were found.\n\
          \n\
          faults replay <violation.json>\n\
@@ -460,7 +466,8 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
             for name in Scenario::catalog() {
                 let sc = Scenario::by_name(name).expect("catalog names resolve");
                 let backend = if sc.net_nodes > 0 {
-                    format!("net({})", sc.net_nodes)
+                    let order = if sc.net_fifo { "" } else { ",reorder" };
+                    format!("net({}{order})", sc.net_nodes)
                 } else {
                     "shm".to_string()
                 };

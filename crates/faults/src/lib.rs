@@ -12,7 +12,13 @@
 //!   delayed advice visibility ([`fdwrap::FaultyFdGen`]), probing how much
 //!   each algorithm actually relies on its detector;
 //! * **starvation** — C-processes frozen by the scheduler, riding the
-//!   kernel's `Starve` adversary.
+//!   kernel's `Starve` adversary;
+//! * **network faults** — for net-backed scenarios: replica partitions,
+//!   drop windows, heals and replica crash/recover pairs
+//!   ([`plan::FaultPlan::crash_replica`]). The searched menu stays
+//!   majority-safe ([`plan::FaultPlan::net_majority_safe`]); plans that
+//!   break the majority anyway surface as typed `quorum-lost` violations
+//!   instead of panics.
 //!
 //! Plans are *searched* (bounded DFS over a component menu,
 //! [`sweep::PlanSearch`]) rather than sampled; every `(plan, seed)` job is

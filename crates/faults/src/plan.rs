@@ -102,12 +102,14 @@ pub struct FaultPlan {
     /// time; plans without it may legitimately destroy liveness, so
     /// wait-freedom is only asserted for eventually-clean plans.
     pub clear_after: Option<u64>,
-    /// Network faults (partition/heal/drop windows on the network's logical
-    /// clock), applied only when the scenario runs over the message-passing
-    /// backend and ignored on shared memory. Majority-breaking combinations
-    /// exceed the ABD model's assumption: quorum operations strand and the
-    /// backend raises a structured `net: quorum unreachable` panic, which
-    /// the sweep converts into a replayable [`crate::violation::Violation`].
+    /// Network faults (partition/heal/drop windows and replica
+    /// crash/recover events on the network's logical clock), applied only
+    /// when the scenario runs over the message-passing backend and ignored
+    /// on shared memory. Majority-breaking combinations exceed the ABD
+    /// model's assumption: quorum operations stall through the
+    /// retransmission horizon and the backend then raises a typed
+    /// `QuorumLost` degradation, which the sweep converts into a replayable
+    /// [`crate::violation::Violation`].
     pub net_faults: Vec<NetFault>,
 }
 
@@ -175,11 +177,28 @@ impl FaultPlan {
         self
     }
 
-    /// The ABD precondition: `true` iff every partition in the plan leaves a
-    /// strict majority of the `nodes` replicas reachable or is later healed.
-    /// Plans failing this are still runnable — they are the adversary
-    /// exceeding the model, and quorum operations are *expected* to strand
-    /// (a structured panic, replayable as a violation).
+    /// Crashes replica `node` at network tick `at` (volatile stores are
+    /// wiped; the replica's links go dark like a partition of one).
+    pub fn crash_replica(mut self, node: usize, at: u64) -> FaultPlan {
+        self.net_faults.push(NetFault::CrashReplica { at, node });
+        self
+    }
+
+    /// Recovers replica `node` at network tick `at`; it re-syncs from a
+    /// majority before serving again.
+    pub fn recover_replica(mut self, node: usize, at: u64) -> FaultPlan {
+        self.net_faults.push(NetFault::RecoverReplica { at, node });
+        self
+    }
+
+    /// The ABD precondition: `true` iff every partition or replica-crash
+    /// window in the plan leaves a strict majority of the `nodes` replicas
+    /// reachable, where heals and recoveries landing inside the
+    /// retransmission horizon are statically credited (the stalled op's
+    /// later rounds reach the restored replicas). Plans failing this are
+    /// still runnable — they are the adversary exceeding the model, and
+    /// quorum operations are *expected* to degrade (a typed `QuorumLost`
+    /// outcome, replayable as a violation).
     pub fn net_majority_safe(&self, nodes: usize) -> bool {
         majority_safe(&self.net_faults, nodes)
     }
@@ -361,12 +380,38 @@ mod tests {
     fn majority_predicate_gates_partitions() {
         // 1 of 3 partitioned away: majority {1, 2} survives.
         assert!(FaultPlan::clean().partition(vec![0], 5).net_majority_safe(3));
-        // 2 of 3 partitioned away: the precondition fails, and a later heal
-        // is not credited (it only rescues ops that retransmit past it).
+        // 2 of 3 partitioned away forever: the precondition fails.
         assert!(!FaultPlan::clean().partition(vec![0, 1], 5).net_majority_safe(3));
-        assert!(!FaultPlan::clean().partition(vec![0, 1], 5).heal(9).net_majority_safe(3));
+        // A heal inside the retransmission horizon is credited: stalled
+        // ops retransmit past it and complete.
+        assert!(FaultPlan::clean().partition(vec![0, 1], 5).heal(9).net_majority_safe(3));
+        // A heal beyond the horizon is not.
+        let ph = wfa_net::config::NetConfig::new(3, 0).retransmission_horizon();
+        assert!(!FaultPlan::clean()
+            .partition(vec![0, 1], 5)
+            .heal(5 + ph + 1)
+            .net_majority_safe(3));
         // A healed minority partition stays safe.
         assert!(FaultPlan::clean().partition(vec![0], 5).heal(9).net_majority_safe(3));
+    }
+
+    #[test]
+    fn majority_predicate_credits_timely_recoveries() {
+        let rh = wfa_net::config::NetConfig::new(3, 0).recovery_horizon();
+        // A minority crash is always safe; a majority crash needs every
+        // crashed replica to recover inside the recovery horizon.
+        assert!(FaultPlan::clean().crash_replica(2, 0).net_majority_safe(3));
+        let dead = FaultPlan::clean().crash_replica(0, 0).crash_replica(1, 0);
+        assert!(!dead.clone().net_majority_safe(3));
+        assert!(dead
+            .clone()
+            .recover_replica(0, rh)
+            .recover_replica(1, rh)
+            .net_majority_safe(3));
+        assert!(!dead
+            .recover_replica(0, rh + 1)
+            .recover_replica(1, rh + 1)
+            .net_majority_safe(3));
     }
 
     #[test]

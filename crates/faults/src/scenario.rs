@@ -18,6 +18,8 @@
 //!   sensitive to advice delay and sample corruption.
 //! * `ksa-net` — the same experiment over the ABD quorum-replicated register
 //!   backend (3 replicas): the scenario network fault plans run against.
+//! * `ksa-net-reorder` — `ksa-net` with non-FIFO channels: messages overtake
+//!   freely, probing the protocol's reordering tolerance.
 //! * `renaming` — Figure-4 renaming under the (j, 2j−1) bound.
 //! * `wait-for-all` — a deliberately non-wait-free adopt-commit variant that
 //!   blocks until every proposal is published: the fixture that gives the
@@ -62,6 +64,10 @@ pub struct Scenario {
     /// an ABD backend seeded from the run seed and carrying the plan's
     /// network faults.
     pub net_nodes: usize,
+    /// Channel discipline for the net backend: `true` delivers per-channel
+    /// in send order, `false` lets messages overtake freely (ignored on
+    /// shared memory).
+    pub net_fifo: bool,
     /// The Δ to validate against.
     pub task: Arc<dyn Task>,
     /// Builds the (honest) detector for a failure pattern.
@@ -90,6 +96,7 @@ impl Scenario {
             "fragile-commit" => Some(Scenario::fragile_commit()),
             "ksa" => Some(Scenario::ksa()),
             "ksa-net" => Some(Scenario::ksa_net()),
+            "ksa-net-reorder" => Some(Scenario::ksa_net_reorder()),
             "renaming" => Some(Scenario::renaming()),
             "wait-for-all" => Some(Scenario::wait_for_all()),
             _ => None,
@@ -98,7 +105,15 @@ impl Scenario {
 
     /// Names of every canonical scenario.
     pub fn catalog() -> Vec<&'static str> {
-        vec!["adopt-commit", "fragile-commit", "ksa", "ksa-net", "renaming", "wait-for-all"]
+        vec![
+            "adopt-commit",
+            "fragile-commit",
+            "ksa",
+            "ksa-net",
+            "ksa-net-reorder",
+            "renaming",
+            "wait-for-all",
+        ]
     }
 
     /// Gafni's adopt-commit, 3 parties, coherence spec as Δ.
@@ -110,6 +125,7 @@ impl Scenario {
             budget: 30_000,
             stab: 50,
             net_nodes: 0,
+            net_fifo: true,
             task: Arc::new(AcTask { parties: n, distinct_inputs: false }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -139,6 +155,7 @@ impl Scenario {
             budget: 10_000,
             stab: 50,
             net_nodes: 0,
+            net_fifo: true,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -167,6 +184,7 @@ impl Scenario {
             budget: 300_000,
             stab: 100,
             net_nodes: 0,
+            net_fifo: true,
             task: Arc::new(SetAgreement::new(n, k as usize)),
             mk_fd: Arc::new(move |p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -201,6 +219,17 @@ impl Scenario {
         sc
     }
 
+    /// [`Scenario::ksa_net`] over non-FIFO channels: per-channel delivery
+    /// order is unconstrained, so replies and retransmissions overtake
+    /// freely. ABD's tag order makes the protocol insensitive to
+    /// reordering — the fixture that keeps the sweep honest about it.
+    pub fn ksa_net_reorder() -> Scenario {
+        let mut sc = Scenario::ksa_net();
+        sc.name = "ksa-net-reorder".into();
+        sc.net_fifo = false;
+        sc
+    }
+
     /// The deliberately non-wait-free adopt-commit variant: guaranteed
     /// discoverable wait-freedom violations (stop any party and everyone
     /// else blocks on its unpublished proposal).
@@ -212,6 +241,7 @@ impl Scenario {
             budget: 5_000,
             stab: 50,
             net_nodes: 0,
+            net_fifo: true,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -240,6 +270,7 @@ impl Scenario {
             budget: 400_000,
             stab: 50,
             net_nodes: 0,
+            net_fifo: true,
             task: Arc::new(Renaming::new(m, j, 2 * j - 1)),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {

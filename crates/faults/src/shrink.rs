@@ -14,11 +14,17 @@
 //! vacuous there. Dropping plan components one at a time and re-running
 //! keeps only the faults the starvation actually depends on.
 //!
-//! Panic violations (the net backend's `quorum unreachable`, a torn
-//! automaton) also shrink their plan: each candidate re-runs under
-//! `catch_unwind` and is kept only if it still panics — the same criterion
-//! [`crate::run::replay`] certifies, so a shrunk panic artifact still
-//! reproduces.
+//! Quorum-loss violations (the net backend's typed degradation) likewise
+//! shrink their plan: each candidate re-runs and is kept only if it still
+//! degrades some quorum op; the recorded `(op, tick)` and schedule are
+//! refreshed from the final minimal plan so the artifact replays against
+//! what it stores.
+//!
+//! Panic violations (a torn automaton, or the net backend under its legacy
+//! `quorum unreachable` shim) also shrink their plan: each candidate
+//! re-runs under `catch_unwind` and is kept only if it still panics — the
+//! same criterion [`crate::run::replay`] certifies, so a shrunk panic
+//! artifact still reproduces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -42,6 +48,7 @@ pub fn shrink(v: &mut Violation) -> usize {
         ViolationKind::Safety { reason } => shrink_schedule(&sc, v, &reason),
         ViolationKind::WaitFreedom { process, .. } => shrink_plan(&sc, v, process),
         ViolationKind::Panic { .. } => shrink_panic(&sc, v),
+        ViolationKind::QuorumLost { .. } => shrink_quorum_lost(&sc, v),
     }
 }
 
@@ -213,6 +220,55 @@ fn shrink_panic(sc: &Scenario, v: &mut Violation) -> usize {
     }
 }
 
+/// Drops plan components one at a time, keeping each drop after which the
+/// run still degrades some quorum op. The recorded kind and schedule are
+/// refreshed from the final minimal plan (dropping an unrelated fault can
+/// shift the tick the horizon expires at).
+fn shrink_quorum_lost(sc: &Scenario, v: &mut Violation) -> usize {
+    let mut replays = 0;
+    let seed = v.seed;
+    let first_loss = |plan: &FaultPlan, replays: &mut usize| -> Option<(ViolationKind, Vec<usize>)> {
+        *replays += 1;
+        let outcome = run_plan(sc, plan, seed);
+        outcome
+            .violations
+            .iter()
+            .find(|w| matches!(w.kind, ViolationKind::QuorumLost { .. }))
+            .map(|w| (w.kind.clone(), outcome.schedule.iter().map(|p| p.0).collect()))
+    };
+    let mut recorded: Option<(ViolationKind, Vec<usize>)> = None;
+    loop {
+        let mut improved = false;
+        macro_rules! try_drop {
+            ($field:ident) => {
+                if !improved {
+                    for idx in 0..v.plan.$field.len() {
+                        let mut candidate = v.plan.clone();
+                        candidate.$field.remove(idx);
+                        if let Some(hit) = first_loss(&candidate, &mut replays) {
+                            v.plan = candidate;
+                            recorded = Some(hit);
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+            };
+        }
+        try_drop!(net_faults);
+        try_drop!(crashes);
+        try_drop!(stops);
+        try_drop!(fd_faults);
+        if !improved || replays >= MAX_REPLAYS {
+            if let Some((kind, schedule)) = recorded {
+                v.kind = kind;
+                v.schedule = schedule;
+            }
+            return replays;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,35 +323,28 @@ mod tests {
     }
 
     #[test]
-    fn panic_shrink_drops_irrelevant_faults() {
-        // A majority-breaking partition strands quorum ops; the crash and
+    fn quorum_lost_shrink_drops_irrelevant_faults() {
+        // A majority-breaking partition degrades quorum ops; the crash and
         // the sample loss riding along have nothing to do with it and must
         // be shrunk away. The partition itself must survive.
         let sc = Scenario::ksa_net();
         let plan = FaultPlan::clean().partition(vec![0, 1], 0).crash_s(2, 5).lose(0, 2);
-        let payload = catch_unwind(AssertUnwindSafe(|| run_plan(&sc, &plan, 3)))
-            .expect_err("majority-breaking partition must strand a quorum op");
-        let mut v = Violation {
-            scenario: sc.name.clone(),
-            seed: 3,
-            plan,
-            kind: ViolationKind::Panic {
-                payload: crate::run::payload_string(payload.as_ref()),
-            },
-            schedule: Vec::new(),
-            original_len: 0,
-        };
+        let outcome = run_plan(&sc, &plan, 3);
+        let mut v = outcome
+            .violations
+            .into_iter()
+            .find(|w| matches!(w.kind, ViolationKind::QuorumLost { .. }))
+            .expect("majority-breaking partition must degrade a quorum op");
         let replays = shrink(&mut v);
         assert!(replays > 0);
         assert!(v.plan.crashes.is_empty(), "irrelevant crash survived: {}", v.plan.describe());
         assert!(v.plan.fd_faults.is_empty(), "irrelevant loss survived: {}", v.plan.describe());
         assert_eq!(v.plan.net_faults.len(), 1, "{}", v.plan.describe());
-        match &v.kind {
-            ViolationKind::Panic { payload } => {
-                assert!(payload.contains("net: quorum unreachable"), "{payload}");
-            }
-            other => panic!("shrink changed the kind: {other}"),
-        }
+        assert!(
+            matches!(v.kind, ViolationKind::QuorumLost { .. }),
+            "shrink changed the kind: {}",
+            v.kind
+        );
         let verdict = replay(&v).unwrap();
         assert!(verdict.reproduced, "{}", verdict.detail);
     }

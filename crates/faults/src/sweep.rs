@@ -39,6 +39,12 @@ enum Component {
     NetPartition(usize, u64),
     NetDrop(usize, u64, u64),
     NetHeal(u64),
+    /// Crash one replica at `.1`, recover it at `.2` (inside the recovery
+    /// horizon, so the plan stays creditable).
+    NetCrashRecover(usize, u64, u64),
+    /// Crash replicas 0 and 1 at `.0`, recover both at `.1`: a majority
+    /// blip the retransmission+re-sync machinery must absorb.
+    NetBlip(u64, u64),
 }
 
 /// Bounded-DFS enumeration of fault plans for one scenario.
@@ -77,16 +83,23 @@ impl PlanSearch {
         components.push(Component::Delay(sc.stab));
         components.push(Component::Clear(2 * sc.stab));
         if sc.net_nodes > 0 {
-            // Single-replica partitions and bounded drop windows: the
-            // adversary stays inside the ABD majority assumption, so these
-            // probe the protocol's liveness rather than exceed its model
-            // (majority-breaking plans are built by hand, not swept — the
-            // all-crash exclusion's analogue).
+            // Single-replica partitions, bounded drop windows and
+            // crash/recover pairs inside the recovery horizon: the
+            // adversary stays inside (or creditably returns to) the ABD
+            // majority assumption, so these probe the protocol's liveness
+            // rather than exceed its model (majority-breaking plans are
+            // built by hand, not swept — the all-crash exclusion's
+            // analogue).
+            let rh = wfa_net::config::NetConfig::new(sc.net_nodes, 0).recovery_horizon();
             for node in 0..sc.net_nodes {
                 components.push(Component::NetPartition(node, sc.stab));
                 components.push(Component::NetDrop(node, 0, sc.stab));
+                components.push(Component::NetCrashRecover(node, sc.stab, sc.stab + rh));
             }
             components.push(Component::NetHeal(2 * sc.stab));
+            if sc.net_nodes >= 3 {
+                components.push(Component::NetBlip(2 * sc.stab, 2 * sc.stab + rh));
+            }
         }
         PlanSearch { components, depth, n: sc.n, net_nodes: sc.net_nodes }
     }
@@ -190,6 +203,28 @@ impl PlanSearch {
                         return None;
                     }
                     plan = plan.heal(*t);
+                }
+                Component::NetCrashRecover(node, at, rec) => {
+                    if plan.net_faults.iter().any(|f| {
+                        matches!(f, wfa_net::config::NetFault::CrashReplica { node: n, .. } if n == node)
+                    }) {
+                        return None;
+                    }
+                    plan = plan.crash_replica(*node, *at).recover_replica(*node, *rec);
+                }
+                Component::NetBlip(at, rec) => {
+                    if plan
+                        .net_faults
+                        .iter()
+                        .any(|f| matches!(f, wfa_net::config::NetFault::CrashReplica { .. }))
+                    {
+                        return None;
+                    }
+                    plan = plan
+                        .crash_replica(0, *at)
+                        .crash_replica(1, *at)
+                        .recover_replica(0, *rec)
+                        .recover_replica(1, *rec);
                 }
             }
         }
@@ -421,8 +456,27 @@ mod tests {
         assert!(plans
             .iter()
             .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Heal { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::CrashReplica { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::RecoverReplica { .. }))));
         for p in &plans {
             assert!(p.net_majority_safe(sc.net_nodes), "model-exceeding plan: {}", p.describe());
+            // Every swept crash carries its recovery — the menu only offers
+            // creditable pairs.
+            for f in &p.net_faults {
+                if let NetFault::CrashReplica { node, .. } = f {
+                    assert!(
+                        p.net_faults
+                            .iter()
+                            .any(|g| matches!(g, NetFault::RecoverReplica { node: r, .. } if r == node)),
+                        "unrecovered swept crash: {}",
+                        p.describe()
+                    );
+                }
+            }
             if p.net_faults.iter().any(|f| matches!(f, NetFault::Heal { .. })) {
                 assert!(
                     p.net_faults.iter().any(|f| matches!(f, NetFault::Partition { .. })),

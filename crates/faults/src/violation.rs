@@ -33,6 +33,19 @@ pub enum ViolationKind {
         /// The panic payload, stringified.
         payload: String,
     },
+    /// A quorum operation exhausted its retransmission horizon — the net
+    /// backend degraded instead of completing the op (the adversary broke
+    /// the ABD majority assumption for too long).
+    QuorumLost {
+        /// The stranded protocol phase (`read`, `write-store`, …).
+        op: String,
+        /// The network tick at which the horizon expired.
+        tick: u64,
+        /// Replicas that answered the final round.
+        answered: usize,
+        /// The quorum size that was required.
+        needed: usize,
+    },
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -43,6 +56,9 @@ impl std::fmt::Display for ViolationKind {
                 write!(f, "wait-freedom: C{process} starved after {steps} steps")
             }
             ViolationKind::Panic { payload } => write!(f, "panic: {payload}"),
+            ViolationKind::QuorumLost { op, tick, answered, needed } => {
+                write!(f, "quorum-lost: op={op} tick={tick} answered={answered}/{needed}")
+            }
         }
     }
 }
@@ -87,6 +103,13 @@ impl Violation {
                 ("type".into(), Json::Str("panic".into())),
                 ("payload".into(), Json::Str(payload.clone())),
             ]),
+            ViolationKind::QuorumLost { op, tick, answered, needed } => Json::Obj(vec![
+                ("type".into(), Json::Str("quorum-lost".into())),
+                ("op".into(), Json::Str(op.clone())),
+                ("tick".into(), Json::Num(*tick)),
+                ("answered".into(), Json::Num(*answered as u64)),
+                ("needed".into(), Json::Num(*needed as u64)),
+            ]),
         };
         Json::Obj(vec![
             ("scenario".into(), Json::Str(self.scenario.clone())),
@@ -129,6 +152,19 @@ impl Violation {
                     .and_then(Json::str)
                     .ok_or("violation: missing payload")?
                     .to_string(),
+            },
+            Some("quorum-lost") => ViolationKind::QuorumLost {
+                op: kind_obj
+                    .get("op")
+                    .and_then(Json::str)
+                    .ok_or("violation: missing op")?
+                    .to_string(),
+                tick: kind_obj.get("tick").and_then(Json::num).ok_or("violation: missing tick")?,
+                answered: kind_obj.get("answered").and_then(Json::num).unwrap_or(0) as usize,
+                needed: kind_obj
+                    .get("needed")
+                    .and_then(Json::num)
+                    .ok_or("violation: missing needed")? as usize,
             },
             other => return Err(format!("violation: unknown kind {other:?}")),
         };
@@ -194,6 +230,7 @@ mod tests {
             ViolationKind::Safety { reason: "split \"brain\"".into() },
             ViolationKind::WaitFreedom { process: 2, steps: 17 },
             ViolationKind::Panic { payload: "index out of bounds".into() },
+            ViolationKind::QuorumLost { op: "write-store".into(), tick: 72, answered: 1, needed: 2 },
         ] {
             let mut v = sample();
             v.kind = kind;

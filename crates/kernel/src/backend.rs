@@ -26,10 +26,60 @@
 //!    all state that affects future behaviour, mirroring what `Clone`
 //!    copies, so forked runs dedupe correctly in the model checker.
 
+use std::fmt;
 use std::hash::Hasher;
 
 use crate::memory::{RegKey, SharedMemory};
 use crate::value::{Pid, Value};
+
+/// A structured, typed degradation raised by a backend that could not
+/// complete an operation within its failure model's preconditions and fell
+/// back to a weaker substrate instead of panicking.
+///
+/// The only producer today is the `wfa-net` ABD emulation: when a quorum
+/// operation exhausts its retransmission horizon (majority of replicas
+/// unreachable), the backend serves the op from its linearized view and
+/// raises one of these. The executor drains them after every step — they are
+/// *observations*, excluded from fingerprints like the trace — and the
+/// faults harness promotes the first one per run to a replayable Violation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Degradation {
+    /// The protocol phase that stalled (e.g. `"read"`, `"write-store"`).
+    pub op: String,
+    /// The register the operation addressed.
+    pub key: RegKey,
+    /// The process the operation was performed on behalf of.
+    pub pid: Pid,
+    /// The kernel's logical time when the operation was invoked.
+    pub time: u64,
+    /// The backend's internal clock (network tick) when the horizon expired.
+    pub tick: u64,
+    /// Replicas that answered before the horizon expired.
+    pub answered: usize,
+    /// Replicas a quorum required.
+    pub needed: usize,
+    /// Total replicas in the cluster.
+    pub nodes: usize,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quorum-lost: op={} key=[{}:{},{}] pid={} time={} tick={} answered={}/{} of {} nodes",
+            self.op,
+            self.key.ns,
+            self.key.ix[0],
+            self.key.ix[1],
+            self.pid.0,
+            self.time,
+            self.tick,
+            self.answered,
+            self.needed,
+            self.nodes
+        )
+    }
+}
 
 /// An alternative substrate for the shared register file.
 ///
@@ -58,6 +108,16 @@ pub trait MemoryBackend: Send + Sync {
     /// Human-readable label for debug displays.
     fn label(&self) -> String {
         "backend".to_string()
+    }
+
+    /// Drains the structured [`Degradation`]s raised since the last call.
+    ///
+    /// Backends that never degrade (the default) return nothing. The
+    /// executor calls this after every backend-routed step; drained
+    /// degradations are observations and must **not** be covered by
+    /// [`MemoryBackend::fingerprint`].
+    fn drain_degradations(&mut self) -> Vec<Degradation> {
+        Vec::new()
     }
 }
 

@@ -22,7 +22,7 @@ use wfa_obs::metrics::{Counter, MetricsHandle};
 use wfa_obs::span::{seq, EventKind, ObsEvent, Op};
 use wfa_obs::{local as obs_local};
 
-use crate::backend::MemoryBackend;
+use crate::backend::{Degradation, MemoryBackend};
 use crate::memory::SharedMemory;
 use crate::process::{DynProcess, Status, StepCtx};
 use crate::trace::{Trace, TraceEvent};
@@ -101,6 +101,10 @@ pub struct Executor {
     procs_fp: u64,
     clock: u64,
     trace: Option<Trace>,
+    /// Structured degradations drained from the backend after each step, in
+    /// step order. An observation stream like `trace` — excluded from
+    /// [`Executor::fingerprint`].
+    degradations: Vec<Degradation>,
     /// Observability sink; the default (disabled) handle costs one branch
     /// per step. Excluded from [`Executor::fingerprint`] — metrics are an
     /// observer, not run state.
@@ -158,6 +162,13 @@ impl Executor {
     /// The installed register backend, if any.
     pub fn backend(&self) -> Option<&dyn MemoryBackend> {
         self.backend.as_deref()
+    }
+
+    /// Structured degradations the backend raised during this run, in step
+    /// order (empty for backends that never degrade, and always empty for
+    /// the `None` shared-memory path).
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// Current status of process `pid`.
@@ -245,6 +256,12 @@ impl Executor {
                     seq: seq::STEP,
                     kind: EventKind::Step { op, decided },
                 });
+            }
+            if let Some(b) = &mut self.backend {
+                let mut raised = b.drain_degradations();
+                if !raised.is_empty() {
+                    self.degradations.append(&mut raised);
+                }
             }
         } else {
             obs.bump(Counter::NullSteps);

@@ -26,22 +26,41 @@
 //! in the tree run unchanged over the network — and what the cross-backend
 //! equivalence tests pin.
 //!
-//! When a fault plan cuts a majority away for longer than the
-//! retransmission budget, the protocol cannot terminate; the backend
-//! panics with a structured `net: quorum unreachable` report, which the
-//! fault harness's panic isolation turns into a replayable violation.
+//! **Replica failure.** [`NetFault::CrashReplica`]/[`NetFault::RecoverReplica`]
+//! events crash and revive individual replicas; a crashed replica's links
+//! are cut at the same send+arrival points as partitions, and under
+//! [`Durability::Volatile`] its store is wiped. A recovered replica refuses
+//! to serve quorum rounds until a deterministic *re-sync* completes: it
+//! pulls the `(tag, value)` state of every key from `quorum() − 1` peers
+//! (its own copy completes the majority) over dedicated sync channels and
+//! max-merges per key — after which any quorum intersecting it sees state
+//! at least as fresh as every completed write, restoring the intersection
+//! argument. The backend interleaves this maintenance between a stalled
+//! operation's retransmission rounds, which is what makes recoveries that
+//! land inside the horizon *creditable* in static plan analysis.
+//!
+//! **Quorum loss.** When a fault plan cuts a majority away for longer than
+//! the exponential-backoff retransmission horizon, the operation cannot
+//! complete; instead of panicking, the backend raises a typed, structured
+//! [`Degradation`] through the [`MemoryBackend`] seam and serves the op
+//! from its linearized view. While degraded, each op probes with a single
+//! round (no retransmission schedule — keeping degraded runs cheap); the
+//! first probe that finds a quorum ends the spell, and subsequent reads
+//! lazily repair replica state that trails the view (write-back under a
+//! fresh tag). The legacy `net: quorum unreachable` panic survives behind
+//! [`NetConfig::legacy_panic`] for the panic-isolation path.
 
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use wfa_kernel::backend::MemoryBackend;
+use wfa_kernel::backend::{Degradation, MemoryBackend};
 use wfa_kernel::memory::{RegKey, SharedMemory};
 use wfa_kernel::value::{Pid, Value};
 use wfa_obs::local as obs_local;
 use wfa_obs::metrics::{Counter, HistKind};
 use wfa_obs::span::{seq, EventKind, SpanKind};
 
-use crate::config::NetConfig;
+use crate::config::{Durability, NetConfig, NetFault};
 use crate::runtime::NetRuntime;
 
 /// A write tag: `(sequence number, writer pid)`, ordered lexicographically.
@@ -62,15 +81,59 @@ pub struct AbdBackend {
     /// The linearized contents — what each operation's outcome agreed to.
     /// Serves [`MemoryBackend::view`] and doubles as a self-check: a
     /// quorum read that disagrees with the view would be a linearizability
-    /// bug in the emulation (debug-asserted).
+    /// bug in the emulation (debug-asserted while never degraded). During
+    /// and after a degraded spell it is the authoritative value ops serve.
     view: SharedMemory,
+    /// The crash/recover timeline, `(tick, node, is_crash)`, sorted by tick
+    /// (stable — config order breaks ties, matching the runtime's
+    /// latest-event-wins rule). Processed once, in order, by `maintain`.
+    events: Vec<(u64, usize, bool)>,
+    /// Next unprocessed entry of `events`.
+    cursor: usize,
+    /// Tick from which replica `n` serves quorum rounds: `0` from birth,
+    /// `u64::MAX` barred (crashed, or recovered but awaiting re-sync), else
+    /// the completion tick of its re-sync pull.
+    serving_from: Vec<u64>,
+    /// Replica recovered but its re-sync pull has not yet succeeded — the
+    /// pull is retried at every maintenance point.
+    unsynced: Vec<bool>,
+    /// A quorum-lost spell is in progress: ops serve the view and probe
+    /// with a single round until one finds a majority again.
+    degraded: bool,
+    /// Any spell ever happened — gates the lazy read repair and disarms
+    /// the replicas-match-view self-check.
+    ever_degraded: bool,
+    /// Degradations raised but not yet drained by the executor. An
+    /// observation stream like the trace: excluded from the fingerprint.
+    pending: Vec<Degradation>,
 }
 
 impl AbdBackend {
     /// A backend over a fresh network with empty replicas.
     pub fn new(cfg: NetConfig) -> AbdBackend {
-        let replicas = vec![Store::new(); cfg.nodes];
-        AbdBackend { net: NetRuntime::new(cfg), replicas, view: SharedMemory::new() }
+        let mut events: Vec<(u64, usize, bool)> = cfg
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                NetFault::CrashReplica { at, node } => Some((*at, *node, true)),
+                NetFault::RecoverReplica { at, node } => Some((*at, *node, false)),
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|e| e.0);
+        let nodes = cfg.nodes;
+        AbdBackend {
+            net: NetRuntime::new(cfg),
+            replicas: vec![Store::new(); nodes],
+            view: SharedMemory::new(),
+            events,
+            cursor: 0,
+            serving_from: vec![0; nodes],
+            unsynced: vec![false; nodes],
+            degraded: false,
+            ever_degraded: false,
+            pending: Vec::new(),
+        }
     }
 
     /// The underlying network runtime (for inspection in tests/CLI).
@@ -78,27 +141,142 @@ impl AbdBackend {
         &self.net
     }
 
-    /// Runs one protocol phase: a quorum round trip, returning the quorum,
-    /// the replicas that received the request, and the completion tick.
+    /// Whether the backend is currently in a quorum-lost spell.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Applies every crash/recover event at or before tick `upto` and
+    /// retries outstanding re-sync pulls. Called between an operation's
+    /// retransmission rounds — a recovery landing while an op is stalled
+    /// re-syncs mid-op and serves the later rounds, which is exactly what
+    /// the static plan analysis credits via
+    /// [`NetConfig::recovery_horizon`]. Fault-free runs take the empty
+    /// fast path and send nothing.
+    fn maintain(&mut self, upto: u64) {
+        if self.cursor >= self.events.len() && !self.unsynced.iter().any(|u| *u) {
+            return;
+        }
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= upto {
+            let (_, node, is_crash) = self.events[self.cursor];
+            self.cursor += 1;
+            if is_crash {
+                obs_local::bump(Counter::NetReplicaCrashes);
+                self.serving_from[node] = u64::MAX;
+                self.unsynced[node] = false;
+                if self.net.config().durability == Durability::Volatile {
+                    // Volatile stores do not survive the crash.
+                    self.replicas[node].clear();
+                }
+            } else {
+                obs_local::bump(Counter::NetReplicaRecoveries);
+                self.unsynced[node] = true;
+            }
+        }
+        for node in 0..self.net.config().nodes {
+            if self.unsynced[node] {
+                self.resync(node, upto);
+            }
+        }
+    }
+
+    /// One re-sync attempt for recovered replica `node`, anchored at tick
+    /// `at`: pull the tagged state of `quorum() − 1` peers and max-merge it
+    /// per key, after which any majority through `node` again intersects
+    /// every completed write. On success the replica serves from the pull's
+    /// completion tick; on failure it stays barred for the next attempt.
+    fn resync(&mut self, node: usize, at: u64) {
+        let serving = self.serving_from.clone();
+        let Some((peers, done)) = self.net.sync_round(node, at, &serving) else {
+            return;
+        };
+        let merged: Vec<(RegKey, (Tag, Value))> = peers
+            .iter()
+            .flat_map(|p| self.replicas[*p].iter().map(|(k, tv)| (*k, tv.clone())))
+            .collect();
+        for (key, (tag, val)) in merged {
+            match self.replicas[node].get(&key) {
+                Some((t, _)) if *t >= tag => {}
+                _ => {
+                    self.replicas[node].insert(key, (tag, val));
+                }
+            }
+        }
+        self.serving_from[node] = done;
+        self.unsynced[node] = false;
+        obs_local::bump(Counter::NetReplicaResyncs);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::ReplicaResync, dur: done - at });
+    }
+
+    /// Runs one protocol phase: broadcast rounds on the exponential-backoff
+    /// schedule, with replica maintenance interleaved before each round,
+    /// until a majority replies. Returns the quorum, the replicas that
+    /// accepted the request in any round, and the completion tick.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with the structured `net: quorum unreachable` report when the
-    /// network denies a majority for longer than the retransmission budget.
-    fn phase(&mut self, op: &str, key: RegKey, me: Pid) -> (Vec<usize>, Vec<usize>, u64) {
-        match self.net.quorum_round() {
-            Ok(q) => q,
-            Err(answered) => panic!(
+    /// When the retransmission horizon expires without a quorum the phase
+    /// records a typed [`Degradation`] (kernel time `time`), enters the
+    /// degraded spell, and returns `Err` — unless
+    /// [`NetConfig::legacy_panic`] requests the historical structured
+    /// panic. While degraded, phases probe with a single round; the first
+    /// quorum found ends the spell.
+    fn phase(&mut self, op: &str, key: RegKey, me: Pid, time: u64) -> Result<(Vec<usize>, Vec<usize>, u64), ()> {
+        let need = self.net.config().quorum();
+        let start = self.net.now();
+        let max_rounds = if self.degraded { 0 } else { self.net.config().max_rounds };
+        let mut answered = 0;
+        let mut delivered: Vec<usize> = Vec::new();
+        for round in 0..=max_rounds {
+            if round > 0 {
+                obs_local::bump(Counter::NetRetransmits);
+            }
+            let sent = self.net.round_send_tick(start, round);
+            self.maintain(sent);
+            let serving = self.serving_from.clone();
+            let (acks, accepted) = self.net.round(sent, &serving);
+            for node in accepted {
+                if !delivered.contains(&node) {
+                    delivered.push(node);
+                }
+            }
+            if acks.len() >= need {
+                let completion = acks[need - 1].0;
+                let responders = acks[..need].iter().map(|(_, n)| *n).collect();
+                self.net.advance_to(completion);
+                self.degraded = false;
+                return Ok((responders, delivered, completion));
+            }
+            answered = acks.len();
+        }
+        let horizon = self.net.round_send_tick(start, max_rounds) + self.net.config().round_span();
+        self.net.advance_to(horizon);
+        if self.net.config().legacy_panic {
+            panic!(
                 "net: quorum unreachable: op={op} key=[{}:{},{}] pid={} tick={} answered={answered} needed={} nodes={}",
                 key.ns,
                 key.ix[0],
                 key.ix[1],
                 me.0,
-                self.net.now(),
-                self.net.config().quorum(),
+                horizon,
+                need,
                 self.net.config().nodes,
-            ),
+            );
         }
+        obs_local::bump(Counter::NetQuorumLost);
+        self.pending.push(Degradation {
+            op: op.to_string(),
+            key,
+            pid: me,
+            time,
+            tick: horizon,
+            answered,
+            needed: need,
+            nodes: self.net.config().nodes,
+        });
+        self.degraded = true;
+        self.ever_degraded = true;
+        Err(())
     }
 
     /// The maximum `(tag, value)` pair for `key` across the quorum
@@ -114,9 +292,14 @@ impl AbdBackend {
 
     /// Stores `(tag, val)` for `key` at every replica in `nodes`, keeping
     /// the per-replica maximum (store requests are idempotent and ordered
-    /// by tag, so duplicates and stale retransmissions are harmless).
+    /// by tag, so duplicates and stale retransmissions are harmless). A
+    /// replica that crashed after accepting the request mid-phase lost the
+    /// copy and is skipped.
     fn apply(&mut self, nodes: &[usize], key: RegKey, tag: Tag, val: &Value) {
         for n in nodes {
+            if self.serving_from[*n] == u64::MAX {
+                continue;
+            }
             let store = &mut self.replicas[*n];
             match store.get(&key) {
                 Some((t, _)) if *t >= tag => {}
@@ -126,34 +309,76 @@ impl AbdBackend {
             }
         }
     }
+
+    /// `true` iff every quorum member holds exactly `tag` for `key` (or,
+    /// when `tag` is the default, none holds a copy). A unanimous phase 1
+    /// proves the value is already at a majority, so the read-ordering
+    /// write-back is redundant — the read-optimized variant skips it.
+    fn unanimous(&self, quorum: &[usize], key: RegKey, tag: Tag) -> bool {
+        quorum.iter().all(|n| match self.replicas[*n].get(&key) {
+            Some((t, _)) => *t == tag,
+            None => tag == Tag::default(),
+        })
+    }
 }
 
 impl MemoryBackend for AbdBackend {
-    fn read(&mut self, me: Pid, _now: u64, key: RegKey) -> Value {
+    fn read(&mut self, me: Pid, now: u64, key: RegKey) -> Value {
         let start = self.net.now();
         // Phase 1: query a majority for the latest tagged copy.
-        let (quorum, _, _) = self.phase("read", key, me);
-        let (tag, val) = self.collect_max(&quorum, key);
-        // Phase 2: write the observed pair back so the read is ordered
-        // after the write it saw.
-        let (_, delivered, done) = self.phase("read-back", key, me);
-        self.apply(&delivered, key, tag, &val);
+        let Ok((quorum, _, p1_done)) = self.phase("read", key, me, now) else {
+            // Degraded: the view is the linearized truth; serve it.
+            return self.view.peek(key);
+        };
+        let (mut tag, mut val) = self.collect_max(&quorum, key);
+        // Lazy repair after a degraded spell: writes served while degraded
+        // reached only the view, so a quorum value that trails it is
+        // converged by writing the view's value back under a fresh tag.
+        let repaired = self.ever_degraded && val != self.view.peek(key);
+        if repaired {
+            tag = Tag(tag.0 + 1, me.0 as u64);
+            val = self.view.peek(key);
+        }
+        let done = if !repaired && self.net.config().read_optimized && self.unanimous(&quorum, key, tag) {
+            // Unanimous phase 1 ⇒ the pair is already at a majority; the
+            // ordering write-back is redundant.
+            obs_local::bump(Counter::NetReadbackSkips);
+            p1_done
+        } else {
+            // Phase 2: write the observed pair back so the read is ordered
+            // after the write it saw.
+            let Ok((_, delivered, p2_done)) = self.phase("read-back", key, me, now) else {
+                return self.view.peek(key);
+            };
+            self.apply(&delivered, key, tag, &val);
+            p2_done
+        };
         obs_local::bump(Counter::NetQuorumReads);
         obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
         obs_local::observe(HistKind::QuorumLatency, done - start);
-        // Sequential ops ⇒ the quorum value is the linearized value.
-        debug_assert_eq!(val, self.view.peek(key), "ABD read diverged from the linearized view");
+        // Sequential ops ⇒ the quorum value is the linearized value (only
+        // guaranteed while no spell ever interposed view-only writes).
+        debug_assert!(
+            self.ever_degraded || val == self.view.peek(key),
+            "ABD read diverged from the linearized view"
+        );
         val
     }
 
-    fn write(&mut self, me: Pid, _now: u64, key: RegKey, val: Value) {
+    fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value) {
         let start = self.net.now();
         // Phase 1: learn the maximum tag a majority has seen.
-        let (quorum, _, _) = self.phase("write", key, me);
+        let Ok((quorum, _, _)) = self.phase("write", key, me, now) else {
+            self.view.write(key, val); // degraded: the view carries the write
+            return;
+        };
         let (Tag(ts, _), _) = self.collect_max(&quorum, key);
         let tag = Tag(ts + 1, me.0 as u64);
         // Phase 2: store the new tagged value at (at least) a majority.
-        let (_, delivered, done) = self.phase("write-store", key, me);
+        let Ok((_, delivered, done)) = self.phase("write-store", key, me, now) else {
+            self.view.write(key, val);
+            return;
+        };
         self.apply(&delivered, key, tag, &val);
         obs_local::bump(Counter::NetQuorumWrites);
         obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
@@ -163,6 +388,10 @@ impl MemoryBackend for AbdBackend {
 
     fn view(&self) -> &SharedMemory {
         &self.view
+    }
+
+    fn drain_degradations(&mut self) -> Vec<Degradation> {
+        std::mem::take(&mut self.pending)
     }
 
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
@@ -176,6 +405,13 @@ impl MemoryBackend for AbdBackend {
                 v.hash(&mut h);
             }
         }
+        // Replica-failure machine state (`pending` is an observation
+        // stream, like the trace — deliberately excluded).
+        self.cursor.hash(&mut h);
+        self.serving_from.hash(&mut h);
+        self.unsynced.hash(&mut h);
+        self.degraded.hash(&mut h);
+        self.ever_degraded.hash(&mut h);
     }
 
     fn clone_backend(&self) -> Box<dyn MemoryBackend> {
@@ -245,12 +481,150 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "net: quorum unreachable")]
-    fn majority_partition_panics_structurally() {
+    fn majority_partition_degrades_to_a_typed_outcome() {
         let cfg = NetConfig::new(3, 7)
             .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
         let mut abd = AbdBackend::new(cfg);
+        abd.write(Pid(0), 5, RegKey::new(0), Value::Int(1));
+        // The write was served from the view and a structured degradation
+        // raised through the seam instead of a panic.
+        assert!(abd.is_degraded());
+        assert_eq!(abd.view().peek(RegKey::new(0)), Value::Int(1));
+        let raised = abd.drain_degradations();
+        assert_eq!(raised.len(), 1);
+        let d = &raised[0];
+        assert_eq!((d.op.as_str(), d.pid, d.time), ("write", Pid(0), 5));
+        assert_eq!((d.answered, d.needed, d.nodes), (1, 2, 3), "only replica 2 answered");
+        assert!(d.to_string().starts_with("quorum-lost: op=write"), "got {d}");
+        assert!(abd.drain_degradations().is_empty(), "drain empties the stream");
+        // Degraded reads serve the view.
+        assert_eq!(abd.read(Pid(1), 6, RegKey::new(0)), Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "net: quorum unreachable")]
+    fn legacy_panic_shim_keeps_the_structured_report() {
+        let mut cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
+        cfg.legacy_panic = true;
+        let mut abd = AbdBackend::new(cfg);
         abd.write(Pid(0), 0, RegKey::new(0), Value::Int(1));
+    }
+
+    #[test]
+    fn degraded_spell_ends_and_reads_repair_the_replicas() {
+        // Majority cut until far past the retransmission horizon: the
+        // first write degrades, follow-up ops probe (one round each) until
+        // the heal lands, and the first post-heal read lazily converges
+        // the replicas to the view.
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] })
+            .with_fault(NetFault::Heal { at: 100 });
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(0);
+        abd.write(Pid(0), 0, key, Value::Int(1));
+        assert!(abd.is_degraded());
+        let mut reads = 0;
+        while abd.is_degraded() {
+            assert_eq!(abd.read(Pid(1), 1, key), Value::Int(1), "view serves the spell");
+            reads += 1;
+            assert!(reads < 32, "probe never found the healed majority");
+        }
+        assert!(!abd.drain_degradations().is_empty());
+        // The repair wrote the view's value back under a fresh tag.
+        let (tag, val) = abd.collect_max(&[0, 1, 2], key);
+        assert_eq!((val, tag.1), (Value::Int(1), 1), "repaired under the reader's tag");
+        assert_eq!(abd.read(Pid(0), 2, key), Value::Int(1));
+    }
+
+    #[test]
+    fn crashed_replica_resyncs_before_serving_again() {
+        let obs = MetricsHandle::counters();
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::CrashReplica { at: 1, node: 2 })
+            .with_fault(NetFault::RecoverReplica { at: 40, node: 2 });
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(0);
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, key, Value::Int(7)); // replica 2 already down
+            while abd.runtime().now() < 40 {
+                abd.read(Pid(1), 1, key); // advance past the recovery
+            }
+            abd.write(Pid(0), 2, key, Value::Int(9)); // maintain() re-syncs first
+            assert_eq!(abd.read(Pid(1), 3, key), Value::Int(9));
+        }
+        assert!(abd.drain_degradations().is_empty(), "minority crash never degrades");
+        assert_eq!(obs.get(Counter::NetReplicaCrashes), 1);
+        assert_eq!(obs.get(Counter::NetReplicaRecoveries), 1);
+        assert_eq!(obs.get(Counter::NetReplicaResyncs), 1);
+        assert!(obs.get(Counter::NetResyncMsgs) >= 4, "pull = 2 peers × req+rep");
+        // The re-sync restored the wiped store from the surviving majority.
+        assert!(!abd.replicas[2].is_empty(), "re-sync restored the wiped store");
+    }
+
+    #[test]
+    fn durable_replicas_keep_their_store_across_a_crash() {
+        let crash_then = |durability: Durability| {
+            let mut cfg = NetConfig::new(3, 7)
+                .with_fault(NetFault::CrashReplica { at: 30, node: 2 });
+            cfg.durability = durability;
+            let mut abd = AbdBackend::new(cfg);
+            let key = RegKey::new(0);
+            abd.write(Pid(0), 0, key, Value::Int(5));
+            while abd.runtime().now() <= 30 {
+                abd.read(Pid(1), 1, key); // cross the crash tick
+            }
+            abd.read(Pid(1), 2, key); // a maintenance point past the crash
+            abd.replicas[2].get(&key).cloned()
+        };
+        assert_eq!(crash_then(Durability::Volatile), None, "volatile stores are wiped");
+        assert!(crash_then(Durability::Durable).is_some(), "durable stores survive");
+    }
+
+    #[test]
+    fn recovery_during_a_stalled_op_completes_it() {
+        // Both minority replicas crash at 0 and recover inside the
+        // recovery horizon: the stalled write's maintenance re-syncs them
+        // between rounds and a later round finds its quorum — the exact
+        // dynamics the static plan credit relies on.
+        let rh = NetConfig::new(3, 7).recovery_horizon();
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::CrashReplica { at: 0, node: 0 })
+            .with_fault(NetFault::CrashReplica { at: 0, node: 1 })
+            .with_fault(NetFault::RecoverReplica { at: rh, node: 0 })
+            .with_fault(NetFault::RecoverReplica { at: rh, node: 1 });
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(0);
+        abd.write(Pid(0), 0, key, Value::Int(3));
+        assert!(!abd.is_degraded());
+        assert!(abd.drain_degradations().is_empty(), "credited recovery must not degrade");
+        assert_eq!(abd.read(Pid(1), 1, key), Value::Int(3));
+    }
+
+    #[test]
+    fn read_optimized_variant_skips_unanimous_write_backs() {
+        let obs = MetricsHandle::counters();
+        let mut cfg = NetConfig::new(3, 5);
+        cfg.read_optimized = true;
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(0);
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, key, Value::Int(4));
+            // The store phase reached all three replicas, so phase 1 of
+            // the read is unanimous and phase 2 is skipped: 2 write
+            // phases + 1 read phase = 3 × 3 × (req+rep) = 18 messages.
+            assert_eq!(abd.read(Pid(1), 1, key), Value::Int(4));
+        }
+        assert_eq!(obs.get(Counter::NetReadbackSkips), 1);
+        assert_eq!(obs.get(Counter::NetMsgsSent), 18);
+        // An unwritten key is unanimously absent — also skippable.
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            assert_eq!(abd.read(Pid(0), 2, RegKey::new(9)), Value::Unit);
+        }
+        assert_eq!(obs.get(Counter::NetReadbackSkips), 2);
     }
 
     #[test]

@@ -37,6 +37,25 @@ pub enum NetFault {
         /// The affected replica index.
         node: usize,
     },
+    /// From tick `at`, replica `node` is crashed: it receives nothing and
+    /// sends nothing (checked at the same send+arrival points as
+    /// partitions), and under [`Durability::Volatile`] its register store is
+    /// wiped. Lasts until a later [`NetFault::RecoverReplica`].
+    CrashReplica {
+        /// Tick of the crash.
+        at: u64,
+        /// The crashed replica index.
+        node: usize,
+    },
+    /// From tick `at`, replica `node` is up again — but it refuses to serve
+    /// quorum rounds until it has re-synced its tagged register state from a
+    /// majority (see the re-sync protocol in `AbdBackend`).
+    RecoverReplica {
+        /// Tick of the recovery.
+        at: u64,
+        /// The recovering replica index.
+        node: usize,
+    },
 }
 
 impl NetFault {
@@ -59,6 +78,16 @@ impl NetFault {
                 ("type".into(), Json::Str("drop".into())),
                 ("at".into(), Json::Num(*at)),
                 ("until".into(), Json::Num(*until)),
+                ("node".into(), Json::Num(*node as u64)),
+            ]),
+            NetFault::CrashReplica { at, node } => Json::Obj(vec![
+                ("type".into(), Json::Str("crash-replica".into())),
+                ("at".into(), Json::Num(*at)),
+                ("node".into(), Json::Num(*node as u64)),
+            ]),
+            NetFault::RecoverReplica { at, node } => Json::Obj(vec![
+                ("type".into(), Json::Str("recover-replica".into())),
+                ("at".into(), Json::Num(*at)),
                 ("node".into(), Json::Num(*node as u64)),
             ]),
         }
@@ -92,6 +121,16 @@ impl NetFault {
                 until: json.get("until").and_then(Json::num).ok_or("drop lacks `until`")?,
                 node: json.get("node").and_then(Json::num).ok_or("drop lacks `node`")? as usize,
             }),
+            "crash-replica" => Ok(NetFault::CrashReplica {
+                at,
+                node: json.get("node").and_then(Json::num).ok_or("crash-replica lacks `node`")?
+                    as usize,
+            }),
+            "recover-replica" => Ok(NetFault::RecoverReplica {
+                at,
+                node: json.get("node").and_then(Json::num).ok_or("recover-replica lacks `node`")?
+                    as usize,
+            }),
             other => Err(format!("unknown net fault type `{other}`")),
         }
     }
@@ -105,27 +144,63 @@ impl NetFault {
             }
             NetFault::Heal { at } => format!("heal(@{at})"),
             NetFault::Drop { at, until, node } => format!("drop({node}@{at}..{until})"),
+            NetFault::CrashReplica { at, node } => format!("crash-replica({node}@{at})"),
+            NetFault::RecoverReplica { at, node } => format!("recover-replica({node}@{at})"),
         }
     }
 }
 
-/// Checks the ABD liveness precondition against a fault list: every
-/// partition must leave a strict majority of the `nodes` replicas reachable.
-/// A later [`NetFault::Heal`] is deliberately *not* credited — quorum
-/// operations are synchronous with a bounded retransmission horizon, so a
-/// heal rescues an operation only when it lands inside that horizon, which
-/// depends on when the operation runs, not on the fault list alone. Fault
-/// lists failing this check are still runnable — they are exactly the plans
-/// expected to strand a quorum operation (a structured, replayable
-/// violation).
-pub fn majority_safe(faults: &[NetFault], nodes: usize) -> bool {
-    faults.iter().all(|f| match f {
-        NetFault::Partition { nodes: isolated, .. } => {
-            let cut: usize = isolated.iter().filter(|n| **n < nodes).count();
-            nodes - cut > nodes / 2
+/// What a replica's register store survives across a
+/// [`NetFault::CrashReplica`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Durability {
+    /// The store is wiped at the crash: recovery starts from nothing and the
+    /// re-sync pull is what restores the tagged state. The honest default —
+    /// it is the regime where the re-sync protocol carries the
+    /// linearizability argument.
+    #[default]
+    Volatile,
+    /// The store survives the crash (stable storage). A re-sync is still
+    /// required before serving: the replica may have missed writes while it
+    /// was down, and an un-synced ack would break the quorum-intersection
+    /// argument.
+    Durable,
+}
+
+impl Durability {
+    /// Stable name used in JSON encodings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Durability::Volatile => "volatile",
+            Durability::Durable => "durable",
         }
-        _ => true,
-    })
+    }
+}
+
+/// Checks the ABD liveness precondition against a fault list under the
+/// default link timing: at every instant, the replicas made unavailable by
+/// *uncredited* fault windows must leave a strict majority reachable.
+///
+/// Unlike the PR-4 predicate, heals and recoveries that land inside the
+/// retransmission horizon ARE credited statically: with exponential backoff
+/// a quorum operation's final round is sent at least
+/// [`NetConfig::final_round_offset`] ticks after its anchor, so a partition
+/// whose heal lands within [`NetConfig::retransmission_horizon`] of its
+/// start cannot strand any operation — either an early round completed
+/// before the partition bit, or the final round lands after the heal
+/// (DESIGN.md §10 has the two-case proof). Crash windows are credited under
+/// the tighter [`NetConfig::recovery_horizon`] (the recovering replica must
+/// also fit a re-sync round trip before the stalled op's final round) and
+/// only when a serving majority of peers is reachable for that re-sync.
+///
+/// The check is an *advisory classifier*, not a soundness gate: a
+/// misclassified plan degrades to a typed, replayable `QuorumLost`
+/// violation instead of anything worse, and CI fails on any `QuorumLost`
+/// in a plan this predicate accepted.
+pub fn majority_safe(faults: &[NetFault], nodes: usize) -> bool {
+    let mut cfg = NetConfig::new(nodes, 0);
+    cfg.faults = faults.to_vec();
+    cfg.majority_safe()
 }
 
 /// Full description of a simulated network: replica count, link timing,
@@ -153,6 +228,17 @@ pub struct NetConfig {
     pub dup_every: u64,
     /// Broadcast rounds to attempt before declaring a quorum unreachable.
     pub max_rounds: u32,
+    /// What replica stores survive a [`NetFault::CrashReplica`].
+    pub durability: Durability,
+    /// Skip the phase-2 write-back when a read's phase-1 replies are
+    /// unanimous (every quorum member already holds the maximum tag, so the
+    /// write-back is provably redundant). Off by default so the message
+    /// counts pinned by E14 stay put.
+    pub read_optimized: bool,
+    /// Legacy isolation shim: panic with the PR-4 structured
+    /// `net: quorum unreachable` report on quorum loss instead of raising a
+    /// typed `QuorumLost` degradation. Kept for the panic-isolation path.
+    pub legacy_panic: bool,
     /// Timed network faults.
     pub faults: Vec<NetFault>,
 }
@@ -169,6 +255,9 @@ impl NetConfig {
             drop_every: 0,
             dup_every: 0,
             max_rounds: 3,
+            durability: Durability::Volatile,
+            read_optimized: false,
+            legacy_panic: false,
             faults: Vec::new(),
         }
     }
@@ -178,9 +267,134 @@ impl NetConfig {
         self.nodes / 2 + 1
     }
 
-    /// See [`majority_safe`].
+    /// One broadcast round's worst-case round trip: request out, reply back.
+    pub fn round_span(&self) -> u64 {
+        2 * self.max_delay + 1
+    }
+
+    /// Ticks after a quorum operation's anchor at which its final
+    /// retransmission round is sent (exponential backoff: round `r` goes out
+    /// `round_span · (2^r − 1)` ticks after the anchor, jitter excluded).
+    pub fn final_round_offset(&self) -> u64 {
+        self.round_span()
+            .saturating_mul((1u64 << u64::from(self.max_rounds).min(32)) - 1)
+    }
+
+    /// Static credit horizon for partitions: a partition healed within this
+    /// many ticks of starting cannot strand any quorum operation. Two cases
+    /// close it (DESIGN.md §10): an op anchored more than `2·max_delay`
+    /// before the partition completes its round 0 untouched; any later op's
+    /// final round is sent at or after the heal.
+    pub fn retransmission_horizon(&self) -> u64 {
+        self.final_round_offset().saturating_sub(2 * self.max_delay)
+    }
+
+    /// Static credit horizon for replica crashes: tighter than
+    /// [`NetConfig::retransmission_horizon`] because a recovered replica can
+    /// only ack a round *after* the one whose maintenance point observed the
+    /// recovery and completed the re-sync pull — so the recovery must land
+    /// by the second-to-last round, not the last.
+    pub fn recovery_horizon(&self) -> u64 {
+        self.round_span()
+            .saturating_mul((1u64 << u64::from(self.max_rounds.saturating_sub(1)).min(32)) - 1)
+            .saturating_sub(2 * self.max_delay)
+    }
+
+    /// See [`majority_safe`]; uses this config's own horizons.
     pub fn majority_safe(&self) -> bool {
-        majority_safe(&self.faults, self.nodes)
+        let nodes = self.nodes;
+        // Unavailability windows `(start, end-exclusive, members)`. The
+        // partition timeline follows the runtime's latest-event-wins rule,
+        // so partition windows are sequential: each runs until the next
+        // partition-affecting event.
+        let mut pevents: Vec<(u64, Option<Vec<usize>>)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                NetFault::Partition { at, nodes: iso } => Some((*at, Some(iso.clone()))),
+                NetFault::Heal { at } => Some((*at, None)),
+                _ => None,
+            })
+            .collect();
+        pevents.sort_by_key(|(at, _)| *at);
+        let mut part_windows: Vec<(u64, u64, Vec<usize>)> = Vec::new();
+        for (i, (at, iso)) in pevents.iter().enumerate() {
+            if let Some(iso) = iso {
+                let end = pevents.get(i + 1).map_or(u64::MAX, |(t, _)| *t);
+                let members: Vec<usize> = iso.iter().copied().filter(|n| *n < nodes).collect();
+                if !members.is_empty() && end > *at {
+                    part_windows.push((*at, end, members));
+                }
+            }
+        }
+        // Crash windows: a crash runs to the node's next recovery.
+        let mut crash_windows: Vec<(u64, u64, usize)> = Vec::new();
+        for f in &self.faults {
+            if let NetFault::CrashReplica { at, node } = f {
+                if *node >= nodes {
+                    continue;
+                }
+                let recover = self
+                    .faults
+                    .iter()
+                    .filter_map(|g| match g {
+                        NetFault::RecoverReplica { at: r, node: m } if m == node && *r >= *at => {
+                            Some(*r)
+                        }
+                        _ => None,
+                    })
+                    .min();
+                crash_windows.push((*at, recover.unwrap_or(u64::MAX), *node));
+            }
+        }
+        // Credit short windows. A credited crash additionally needs a
+        // serving majority of peers reachable throughout its re-sync round
+        // trip `[recovery, recovery + round_span)`.
+        let slack = self.round_span();
+        let resync_feasible = |r: u64, node: usize| -> bool {
+            let hi = r.saturating_add(slack);
+            let peers = (0..nodes)
+                .filter(|p| {
+                    *p != node
+                        && !crash_windows.iter().any(|(a2, r2, n2)| {
+                            n2 == p && *a2 < hi && r < r2.saturating_add(slack)
+                        })
+                        && !part_windows
+                            .iter()
+                            .any(|(s, e, ms)| ms.contains(p) && *s < hi && r < *e)
+                })
+                .count();
+            peers >= self.quorum().saturating_sub(1)
+        };
+        let ph = self.retransmission_horizon();
+        let rh = self.recovery_horizon();
+        let mut live: Vec<(u64, u64, Vec<usize>)> = part_windows
+            .iter()
+            .filter(|(s, e, _)| *e == u64::MAX || e - s > ph)
+            .cloned()
+            .collect();
+        for (a, r, node) in &crash_windows {
+            let credited = *r != u64::MAX && r - a <= rh && resync_feasible(*r, *node);
+            if !credited {
+                // Uncredited but finite windows still end — pad by the
+                // re-sync allowance before the node counts as back.
+                live.push((*a, r.saturating_add(slack), vec![*node]));
+            }
+        }
+        // The union of concurrently unavailable nodes only grows at window
+        // starts, so checking each start instant covers every instant.
+        live.iter().all(|(start, _, _)| {
+            let mut down = vec![false; nodes];
+            for (s, e, ms) in &live {
+                if *s <= *start && *start < *e {
+                    for n in ms {
+                        down[*n] = true;
+                    }
+                }
+            }
+            let cut = down.iter().filter(|d| **d).count();
+            nodes - cut > nodes / 2
+        })
     }
 
     /// Adds a fault (builder style).
@@ -200,6 +414,9 @@ impl NetConfig {
             ("drop_every".into(), Json::Num(self.drop_every)),
             ("dup_every".into(), Json::Num(self.dup_every)),
             ("max_rounds".into(), Json::Num(self.max_rounds as u64)),
+            ("durability".into(), Json::Str(self.durability.name().into())),
+            ("read_optimized".into(), Json::Bool(self.read_optimized)),
+            ("legacy_panic".into(), Json::Bool(self.legacy_panic)),
             ("faults".into(), Json::Arr(self.faults.iter().map(NetFault::to_json).collect())),
         ])
     }
@@ -226,6 +443,13 @@ impl NetConfig {
             drop_every: json.get("drop_every").and_then(Json::num).unwrap_or(0),
             dup_every: json.get("dup_every").and_then(Json::num).unwrap_or(0),
             max_rounds: num("max_rounds")? as u32,
+            // PR-4 artifacts lack the replica-failure fields; default them.
+            durability: match json.get("durability").and_then(Json::str) {
+                Some("durable") => Durability::Durable,
+                _ => Durability::Volatile,
+            },
+            read_optimized: json.get("read_optimized").and_then(Json::bool).unwrap_or(false),
+            legacy_panic: json.get("legacy_panic").and_then(Json::bool).unwrap_or(false),
             faults,
         })
     }
@@ -237,12 +461,27 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_json() {
-        let cfg = NetConfig::new(5, 42)
+        let mut cfg = NetConfig::new(5, 42)
             .with_fault(NetFault::Partition { at: 10, nodes: vec![3, 4] })
             .with_fault(NetFault::Heal { at: 90 })
-            .with_fault(NetFault::Drop { at: 5, until: 9, node: 1 });
+            .with_fault(NetFault::Drop { at: 5, until: 9, node: 1 })
+            .with_fault(NetFault::CrashReplica { at: 20, node: 2 })
+            .with_fault(NetFault::RecoverReplica { at: 33, node: 2 });
+        cfg.durability = Durability::Durable;
+        cfg.read_optimized = true;
         let back = NetConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn pr4_configs_parse_with_defaulted_replica_fields() {
+        // An artifact written before the replica-failure fields existed.
+        let legacy = r#"{"nodes":3,"seed":7,"fifo":true,"min_delay":1,"max_delay":4,
+                         "drop_every":0,"dup_every":0,"max_rounds":3,"faults":[]}"#;
+        let cfg = NetConfig::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(cfg.durability, Durability::Volatile);
+        assert!(!cfg.read_optimized);
+        assert!(!cfg.legacy_panic);
     }
 
     #[test]
@@ -256,13 +495,22 @@ mod tests {
     fn majority_safety_classification() {
         // Isolating a minority keeps the majority precondition.
         assert!(majority_safe(&[NetFault::Partition { at: 0, nodes: vec![4] }], 5));
-        // Isolating a majority breaks it…
+        // Isolating a majority with no heal breaks it.
         assert!(!majority_safe(&[NetFault::Partition { at: 0, nodes: vec![0, 1, 2] }], 5));
-        // …and a later heal is not credited statically: it rescues an
-        // operation only when it lands inside the op's retransmission
-        // horizon, which the fault list alone cannot determine.
-        assert!(!majority_safe(
+        // A heal inside the retransmission horizon is credited: no quorum
+        // op can strand on a blip the backoff schedule outlives.
+        let horizon = NetConfig::new(5, 0).retransmission_horizon();
+        assert!(horizon > 7, "defaults must outlive a 7-tick blip");
+        assert!(majority_safe(
             &[NetFault::Partition { at: 0, nodes: vec![0, 1, 2] }, NetFault::Heal { at: 7 }],
+            5
+        ));
+        // A heal beyond the horizon is not.
+        assert!(!majority_safe(
+            &[
+                NetFault::Partition { at: 0, nodes: vec![0, 1, 2] },
+                NetFault::Heal { at: horizon + 1 }
+            ],
             5
         ));
         // Healed *minority* partitions are safe like unhealed ones.
@@ -275,9 +523,75 @@ mod tests {
     }
 
     #[test]
+    fn crash_recovery_crediting() {
+        // A minority crash is safe with or without recovery.
+        assert!(majority_safe(&[NetFault::CrashReplica { at: 0, node: 2 }], 3));
+        // A majority of replicas crashed forever is not.
+        assert!(!majority_safe(
+            &[
+                NetFault::CrashReplica { at: 0, node: 0 },
+                NetFault::CrashReplica { at: 0, node: 1 }
+            ],
+            3
+        ));
+        // Recoveries inside the (tighter) recovery horizon are credited —
+        // the never-crashed peer can serve both re-sync pulls.
+        let rh = NetConfig::new(3, 0).recovery_horizon();
+        assert!(rh > 10, "defaults must credit a 10-tick outage");
+        assert!(majority_safe(
+            &[
+                NetFault::CrashReplica { at: 0, node: 0 },
+                NetFault::CrashReplica { at: 0, node: 1 },
+                NetFault::RecoverReplica { at: 10, node: 0 },
+                NetFault::RecoverReplica { at: 10, node: 1 },
+            ],
+            3
+        ));
+        // Beyond the recovery horizon the credit is withdrawn.
+        assert!(!majority_safe(
+            &[
+                NetFault::CrashReplica { at: 0, node: 0 },
+                NetFault::CrashReplica { at: 0, node: 1 },
+                NetFault::RecoverReplica { at: rh + 1, node: 0 },
+                NetFault::RecoverReplica { at: rh + 1, node: 1 },
+            ],
+            3
+        ));
+        // Crashing 3 of 4 replicas starves the re-sync itself (each pull
+        // needs quorum−1 = 2 serving peers, only 1 exists): not creditable
+        // even with prompt recoveries.
+        assert!(!majority_safe(
+            &[
+                NetFault::CrashReplica { at: 0, node: 0 },
+                NetFault::CrashReplica { at: 0, node: 1 },
+                NetFault::CrashReplica { at: 0, node: 2 },
+                NetFault::RecoverReplica { at: 5, node: 0 },
+                NetFault::RecoverReplica { at: 5, node: 1 },
+                NetFault::RecoverReplica { at: 5, node: 2 },
+            ],
+            4
+        ));
+    }
+
+    #[test]
+    fn horizons_follow_the_backoff_schedule() {
+        let cfg = NetConfig::new(3, 0);
+        // Defaults: span 9, rounds 3 → final round at 9·(2³−1) = 63.
+        assert_eq!(cfg.round_span(), 9);
+        assert_eq!(cfg.final_round_offset(), 63);
+        assert_eq!(cfg.retransmission_horizon(), 55);
+        assert_eq!(cfg.recovery_horizon(), 19);
+    }
+
+    #[test]
     fn fault_descriptions() {
         assert_eq!(NetFault::Partition { at: 9, nodes: vec![1, 2] }.describe(), "partition(1+2@9)");
         assert_eq!(NetFault::Heal { at: 30 }.describe(), "heal(@30)");
         assert_eq!(NetFault::Drop { at: 1, until: 4, node: 0 }.describe(), "drop(0@1..4)");
+        assert_eq!(NetFault::CrashReplica { at: 40, node: 2 }.describe(), "crash-replica(2@40)");
+        assert_eq!(
+            NetFault::RecoverReplica { at: 60, node: 2 }.describe(),
+            "recover-replica(2@60)"
+        );
     }
 }

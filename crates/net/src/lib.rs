@@ -7,8 +7,9 @@
 //! runs in a distributed system. This crate makes that constructive:
 //!
 //! * [`config`] — [`config::NetConfig`]: replica topology, link timing and
-//!   misbehaviour (drop/duplication), and timed [`config::NetFault`]s
-//!   (partition/heal/drop windows), all JSON-serializable and replayable;
+//!   misbehaviour (drop/duplication), durability policy, and timed
+//!   [`config::NetFault`]s (partition/heal/drop windows, replica
+//!   crash/recover), all JSON-serializable and replayable;
 //! * [`runtime`] — [`runtime::NetRuntime`]: the simulated network. Per-
 //!   channel FIFO or reordering delivery, seed-driven delays (stateless
 //!   SplitMix draws, so the runtime forks and hashes like the kernel),
@@ -27,10 +28,15 @@
 //! canonical snapshot keep, so `obs export` bytes are identical across
 //! `WFA_THREADS` settings (CI-enforced).
 //!
-//! When a fault plan partitions a majority away past the retransmission
-//! budget, quorum operations cannot terminate; the backend raises a
-//! structured `net: quorum unreachable` panic that `wfa-faults` converts
-//! into a replayable, shrinkable violation.
+//! Replicas can crash (volatile or durable store) and recover; a recovered
+//! replica refuses to serve until it has re-synced from a majority of its
+//! peers, so reads never observe rolled-back state. When a fault plan keeps
+//! a majority unreachable past the retransmission horizon, quorum
+//! operations do not spin forever: the backend degrades with a typed
+//! [`wfa_kernel::backend::Degradation`] (`quorum-lost`) that flows through
+//! the `MemoryBackend` seam and that `wfa-faults` promotes to a replayable,
+//! shrinkable violation. The historical `net: quorum unreachable` panic
+//! survives only behind [`config::NetConfig::legacy_panic`].
 //!
 //! ```
 //! use wfa_kernel::prelude::*;

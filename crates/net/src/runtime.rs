@@ -76,7 +76,10 @@ impl Hash for NetRuntime {
 impl NetRuntime {
     /// A fresh network at tick 0.
     pub fn new(cfg: NetConfig) -> NetRuntime {
-        let channels = cfg.nodes * 2;
+        // Client↔replica channel pairs plus the replica↔replica sync
+        // channels the re-sync protocol pulls over:
+        // `[to_replica.., to_client.., sync_req.., sync_rep..]`.
+        let channels = cfg.nodes * 4;
         NetRuntime { cfg, now: 0, msgs: 0, fifo_mark: vec![0; channels] }
     }
 
@@ -123,9 +126,36 @@ impl NetRuntime {
         verdict
     }
 
+    /// `true` iff replica `node` is crashed at tick `t` (the latest
+    /// crash/recover event for that node at or before `t` wins — the same
+    /// rule partitions follow).
+    fn down(&self, node: usize, t: u64) -> bool {
+        let mut verdict = false;
+        let mut latest = 0u64;
+        for f in &self.cfg.faults {
+            match f {
+                NetFault::CrashReplica { at, node: n } if *n == node && *at <= t && *at >= latest => {
+                    latest = *at;
+                    verdict = true;
+                }
+                NetFault::RecoverReplica { at, node: n }
+                    if *n == node && *at <= t && *at >= latest =>
+                {
+                    latest = *at;
+                    verdict = false;
+                }
+                _ => {}
+            }
+        }
+        verdict
+    }
+
     /// `true` iff a message touching `node`'s links at tick `t` is lost.
+    /// Crashes are checked here — the same send+arrival points as
+    /// partitions — so a crashed replica receives and sends nothing.
     fn lossy(&self, node: usize, t: u64) -> bool {
         self.isolated(node, t)
+            || self.down(node, t)
             || self.cfg.faults.iter().any(|f| {
                 matches!(f, NetFault::Drop { at, until, node: d } if *d == node && *at <= t && t < *until)
             })
@@ -167,50 +197,88 @@ impl NetRuntime {
         Some(arrive)
     }
 
-    /// Runs one broadcast round trip to all replicas with retransmissions
-    /// until a majority replies, and advances the clock to the tick the
-    /// quorum completed.
+    /// Send tick of retransmission round `round` of an operation anchored at
+    /// `start`: exponential backoff (`round_span · (2^round − 1)`) plus a
+    /// seeded, stateless jitter draw — like the delay model, nothing is
+    /// stored. Round 0 is the original broadcast, sent at the anchor.
+    pub fn round_send_tick(&self, start: u64, round: u32) -> u64 {
+        if round == 0 {
+            return start;
+        }
+        let span = 2 * self.cfg.max_delay + 1;
+        let backoff = span.saturating_mul((1u64 << u64::from(round).min(32)) - 1);
+        let jitter = mix(
+            self.cfg.seed
+                ^ start.wrapping_mul(0xd1b5_4a32_d192_ed03)
+                ^ u64::from(round).wrapping_mul(0x8cb9_2ba7_2f3d_8dd7),
+        ) % (self.cfg.max_delay + 1);
+        start + backoff + jitter
+    }
+
+    /// Advances the network clock (monotonically) to `t` — the caller drives
+    /// rounds and commits the resulting completion or horizon tick here.
+    pub fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "network clock must be monotone");
+        self.now = t;
+    }
+
+    /// One broadcast round trip to all replicas at tick `sent`.
     ///
-    /// Returns `(responders, delivered, completion)`:
+    /// `serving_from[n]` gates replica `n`: it accepts (and replies) only if
+    /// it has been serving since before the request arrived — recovering
+    /// replicas are silent until their re-sync completes (an empty slice
+    /// means everyone serves). Returns `(acks, delivered)`: replies as
+    /// `(arrival, node)` sorted by arrival, and the replicas that accepted
+    /// the request (they applied it even when their reply was lost —
+    /// supersets of quorums are what make the emulation's writes stick).
+    pub fn round(&mut self, sent: u64, serving_from: &[u64]) -> (Vec<(u64, usize)>, Vec<usize>) {
+        let mut acks: Vec<(u64, usize)> = Vec::new();
+        let mut delivered: Vec<usize> = Vec::new();
+        for node in 0..self.cfg.nodes {
+            if let Some(at_replica) = self.transmit(node, Dir::ToReplica, sent) {
+                if serving_from.get(node).copied().unwrap_or(0) > at_replica {
+                    continue; // refused: recovered but not yet re-synced
+                }
+                delivered.push(node);
+                if let Some(done) = self.transmit(node, Dir::ToClient, at_replica) {
+                    acks.push((done, node));
+                }
+            }
+        }
+        acks.sort_unstable();
+        (acks, delivered)
+    }
+
+    /// Runs broadcast rounds (with the backoff schedule) until a majority
+    /// replies, and advances the clock to the tick the quorum completed.
     ///
-    /// * `responders` — the quorum: the first `quorum()` replicas whose
-    ///   replies arrived, in (reply tick, index) order. The phase reads
-    ///   *these* replicas' state.
-    /// * `delivered` — every replica that received the request in *any*
-    ///   round (they all applied it, even when their reply was lost;
-    ///   supersets of quorums are what make the emulation's writes stick).
-    /// * `completion` — the tick the `quorum()`-th reply arrived.
+    /// Returns `(responders, delivered, completion)`: the quorum in (reply
+    /// tick, index) order, every replica that accepted the request in any
+    /// round, and the tick the `quorum()`-th reply arrived.
     ///
     /// # Errors
     ///
-    /// After `max_rounds` incomplete rounds, returns the number of replicas
-    /// that answered in the final round (the caller panics with a
-    /// structured quorum-unreachable report — under the majority-correct
-    /// precondition this is unreachable).
+    /// After `max_rounds` retransmissions without a quorum, advances the
+    /// clock to the end of the final round's window and returns the number
+    /// of replicas that answered in that round. The `AbdBackend` drives its
+    /// own per-round loop (it interleaves replica maintenance); this
+    /// convenience wrapper serves direct runtime users and tests.
     pub fn quorum_round(&mut self) -> Result<(Vec<usize>, Vec<usize>, u64), usize> {
         let need = self.cfg.quorum();
-        let round_span = 2 * self.cfg.max_delay + 1;
+        let start = self.now;
         let mut answered = 0;
         let mut delivered: Vec<usize> = Vec::new();
         for round in 0..=self.cfg.max_rounds {
             if round > 0 {
                 obs_local::bump(Counter::NetRetransmits);
             }
-            let sent = self.now + u64::from(round) * round_span;
-            let mut acks: Vec<(u64, usize)> = Vec::new();
-            for node in 0..self.cfg.nodes {
-                // Track request deliveries even when the reply is lost: the
-                // replica applied the request either way.
-                if let Some(at_replica) = self.transmit(node, Dir::ToReplica, sent) {
-                    if !delivered.contains(&node) {
-                        delivered.push(node);
-                    }
-                    if let Some(done) = self.transmit(node, Dir::ToClient, at_replica) {
-                        acks.push((done, node));
-                    }
+            let sent = self.round_send_tick(start, round);
+            let (acks, accepted) = self.round(sent, &[]);
+            for node in accepted {
+                if !delivered.contains(&node) {
+                    delivered.push(node);
                 }
             }
-            acks.sort_unstable();
             if acks.len() >= need {
                 let completion = acks[need - 1].0;
                 let responders = acks[..need].iter().map(|(_, n)| *n).collect();
@@ -219,8 +287,73 @@ impl NetRuntime {
             }
             answered = acks.len();
         }
-        self.now += u64::from(self.cfg.max_rounds) * round_span;
+        self.now = self.round_send_tick(start, self.cfg.max_rounds) + 2 * self.cfg.max_delay + 1;
         Err(answered)
+    }
+
+    /// One state-pull round for recovering replica `node`, anchored at
+    /// `sent`: requests to every peer over the dedicated sync channels,
+    /// tagged-state replies back. A peer answers only if it is itself
+    /// serving by the request's arrival. Succeeds when `quorum() − 1` peers
+    /// answered (the recovering replica's own copy completes the majority),
+    /// returning the answering peers (fastest first) and the completion
+    /// tick; `None` leaves the replica barred for a later retry.
+    pub fn sync_round(
+        &mut self,
+        node: usize,
+        sent: u64,
+        serving_from: &[u64],
+    ) -> Option<(Vec<usize>, u64)> {
+        let need = self.cfg.quorum().saturating_sub(1);
+        let mut acks: Vec<(u64, usize)> = Vec::new();
+        for peer in (0..self.cfg.nodes).filter(|p| *p != node) {
+            if let Some(at_peer) = self.transmit_sync(node, peer, false, sent) {
+                if serving_from.get(peer).copied().unwrap_or(0) > at_peer {
+                    continue; // peer is itself awaiting re-sync
+                }
+                if let Some(done) = self.transmit_sync(node, peer, true, at_peer) {
+                    acks.push((done, peer));
+                }
+            }
+        }
+        acks.sort_unstable();
+        if acks.len() < need {
+            return None;
+        }
+        let completion = if need == 0 { sent } else { acks[need - 1].0 };
+        Some((acks[..need].iter().map(|(_, p)| *p).collect(), completion))
+    }
+
+    /// Sends one re-sync message between recovering replica `puller` and
+    /// `peer` (request when `reply` is false, tagged-state reply back when
+    /// true). Both endpoints' links are consulted at send and arrival.
+    fn transmit_sync(&mut self, puller: usize, peer: usize, reply: bool, sent: u64) -> Option<u64> {
+        self.msgs += 1;
+        obs_local::bump(Counter::NetMsgsSent);
+        obs_local::bump(Counter::NetResyncMsgs);
+        let periodic_drop = self.cfg.drop_every > 0 && self.msgs.is_multiple_of(self.cfg.drop_every);
+        if periodic_drop || self.lossy(puller, sent) || self.lossy(peer, sent) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        let dur = self.delay(self.msgs);
+        let mut arrive = sent + dur;
+        let channel = if reply { 3 * self.cfg.nodes + peer } else { 2 * self.cfg.nodes + peer };
+        if self.cfg.fifo {
+            arrive = arrive.max(self.fifo_mark[channel]);
+        }
+        self.fifo_mark[channel] = arrive;
+        if self.lossy(puller, arrive) || self.lossy(peer, arrive) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        obs_local::bump(Counter::NetMsgsDelivered);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::Channel, dur });
+        if self.cfg.dup_every > 0 && self.msgs.is_multiple_of(self.cfg.dup_every) {
+            obs_local::bump(Counter::NetMsgsDuplicated);
+            obs_local::bump(Counter::NetMsgsDelivered);
+        }
+        Some(arrive)
     }
 }
 
@@ -330,6 +463,69 @@ mod tests {
         assert_eq!(responders.len(), 3);
         assert!(obs.get(Counter::NetRetransmits) > 0, "recovery needed retransmits");
         assert!(obs.get(Counter::NetMsgsDropped) > 0);
+    }
+
+    #[test]
+    fn crashed_replicas_drop_messages_at_both_points() {
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::CrashReplica { at: 0, node: 2 })
+            .with_fault(NetFault::RecoverReplica { at: 50, node: 2 });
+        let rt = NetRuntime::new(cfg);
+        assert!(rt.down(2, 0) && rt.down(2, 49), "crash window covers [0, 50)");
+        assert!(!rt.down(2, 50), "recovered at 50");
+        assert!(!rt.down(1, 10), "other replicas unaffected");
+        assert!(rt.lossy(2, 10) && !rt.lossy(2, 60), "crashes cut the links");
+    }
+
+    #[test]
+    fn backoff_rounds_are_exponential_and_jittered() {
+        let rt = healthy(3);
+        assert_eq!(rt.round_send_tick(100, 0), 100, "round 0 is the anchor");
+        let mut prev = 100;
+        for r in 1..=4 {
+            let t = rt.round_send_tick(100, r);
+            let base = 100 + 9 * ((1u64 << r) - 1);
+            assert!((base..base + 5).contains(&t), "round {r} at {t} outside jitter window");
+            assert!(t > prev, "rounds must be strictly ordered");
+            prev = t;
+        }
+        // Jitter is seeded: a different anchor may draw differently, but the
+        // draw is a pure function of (seed, anchor, round).
+        assert_eq!(rt.round_send_tick(100, 2), rt.round_send_tick(100, 2));
+    }
+
+    #[test]
+    fn barred_replicas_neither_accept_nor_reply() {
+        let mut rt = healthy(3);
+        let serving = vec![0, u64::MAX, 0];
+        let (acks, delivered) = rt.round(0, &serving);
+        assert!(acks.iter().all(|(_, n)| *n != 1), "barred replica must not ack");
+        assert!(!delivered.contains(&1), "barred replica must not apply");
+        assert_eq!(delivered.len(), 2);
+    }
+
+    #[test]
+    fn sync_round_pulls_from_a_majority_of_peers() {
+        let obs = MetricsHandle::counters();
+        let mut rt = healthy(3);
+        let _g = obs_local::enter(&obs, 0, 0);
+        let (peers, done) = rt.sync_round(0, 5, &[0, 0, 0]).expect("healthy peers serve the pull");
+        assert_eq!(peers.len(), 1, "quorum(3) − 1 peers complete the majority");
+        assert!(done > 5);
+        // 2 requests out, 2 tagged-state replies back.
+        assert_eq!(obs.get(Counter::NetResyncMsgs), 4);
+        assert_eq!(obs.get(Counter::NetMsgsSent), 4, "sync messages count in the totals too");
+    }
+
+    #[test]
+    fn sync_round_fails_while_peers_are_unreachable() {
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![1, 2] });
+        let mut rt = NetRuntime::new(cfg);
+        assert!(rt.sync_round(0, 5, &[0, 0, 0]).is_none(), "no peer reachable");
+        // A peer that is itself awaiting re-sync refuses the pull.
+        let mut healthy_rt = healthy(3);
+        assert!(healthy_rt.sync_round(0, 5, &[0, u64::MAX, u64::MAX]).is_none());
     }
 
     #[test]

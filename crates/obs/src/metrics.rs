@@ -92,10 +92,25 @@ pub enum Counter {
     NetQuorumReads,
     /// Quorum-replicated register writes completed.
     NetQuorumWrites,
+    /// Replica crash events applied (volatile replicas lose their store).
+    NetReplicaCrashes,
+    /// Replicas restored to service after a completed re-sync.
+    NetReplicaRecoveries,
+    /// Re-sync attempts by recovering replicas (includes failed pulls).
+    NetReplicaResyncs,
+    /// Messages carried by the replica-to-replica re-sync protocol
+    /// (also counted in `net_msgs_sent`/`net_msgs_delivered`).
+    NetResyncMsgs,
+    /// Phase-2 write-backs skipped by the read-optimized ABD variant
+    /// (unanimous phase-1 replies).
+    NetReadbackSkips,
+    /// Quorum operations that exhausted their retransmission horizon and
+    /// degraded to the linearized local view.
+    NetQuorumLost,
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 29] = [
+pub const COUNTERS: [Counter; 35] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -125,6 +140,12 @@ pub const COUNTERS: [Counter; 29] = [
     Counter::NetRetransmits,
     Counter::NetQuorumReads,
     Counter::NetQuorumWrites,
+    Counter::NetReplicaCrashes,
+    Counter::NetReplicaRecoveries,
+    Counter::NetReplicaResyncs,
+    Counter::NetResyncMsgs,
+    Counter::NetReadbackSkips,
+    Counter::NetQuorumLost,
 ];
 
 impl Counter {
@@ -160,6 +181,12 @@ impl Counter {
             Counter::NetRetransmits => "net_retransmits",
             Counter::NetQuorumReads => "net_quorum_reads",
             Counter::NetQuorumWrites => "net_quorum_writes",
+            Counter::NetReplicaCrashes => "net_replica_crashes",
+            Counter::NetReplicaRecoveries => "net_replica_recoveries",
+            Counter::NetReplicaResyncs => "net_replica_resyncs",
+            Counter::NetResyncMsgs => "net_resync_msgs",
+            Counter::NetReadbackSkips => "net_readback_skips",
+            Counter::NetQuorumLost => "net_quorum_lost",
         }
     }
 

@@ -87,6 +87,10 @@ pub enum SpanKind {
     /// One message's traversal of a simulated channel (duration = link
     /// delay); attributed to the process whose operation sent it.
     Channel,
+    /// One successful replica re-sync: a recovering replica pulling the
+    /// max-tag register state from a majority before serving again
+    /// (duration = simulated network time spent on the pull rounds).
+    ReplicaResync,
 }
 
 impl SpanKind {
@@ -100,6 +104,7 @@ impl SpanKind {
             SpanKind::ExplorerShard => "explorer_shard",
             SpanKind::QuorumOp => "quorum_op",
             SpanKind::Channel => "channel",
+            SpanKind::ReplicaResync => "replica_resync",
         }
     }
 }
