@@ -168,6 +168,15 @@ fn bench_counters(c: &mut Criterion) {
 /// report is thread-count-invariant (determinism suite), so these entries
 /// measure pure wall-clock scaling of the work-stealing pool.
 fn bench_thread_scaling(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    if cores < 2 {
+        // Flat numbers here would otherwise read as "the pool does not
+        // scale" when the host simply cannot run two workers at once.
+        eprintln!(
+            "modelcheck/threads: host exposes {cores} core(s); t2/t4/t8 entries measure \
+             oversubscription, not scaling — expect flat or worse wall-clock"
+        );
+    }
     let mut g = c.benchmark_group("modelcheck/threads");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {

@@ -14,12 +14,15 @@
 use wfa::core::harness::EfdRun;
 use wfa::fd::detectors::FdGen;
 use wfa::fd::pattern::FailurePattern;
+use wfa::kernel::backend::MemoryBackend;
 use wfa::kernel::process::DynProcess;
 use wfa::kernel::value::Value;
 use wfa::net::abd::AbdBackend;
 use wfa::net::config::NetConfig;
 use wfa::obs::metrics::MetricsHandle;
 use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
+
+pub mod throughput;
 
 pub use wfa;
 
@@ -61,6 +64,26 @@ pub fn run_ksa_backend(
     obs: &MetricsHandle,
     nodes: usize,
 ) -> u64 {
+    let backend = (nodes > 0)
+        .then(|| Box::new(AbdBackend::new(NetConfig::new(nodes, seed ^ 0x7e7))) as Box<_>);
+    run_ksa_with(n, k, stab, seed, obs, backend)
+}
+
+/// [`run_ksa_backend`] over an arbitrary pre-built [`MemoryBackend`]
+/// (`None`: plain shared memory) — the seam the B10 throughput driver uses
+/// to push the same pipeline over batched and sharded backends.
+///
+/// # Panics
+///
+/// Panics if some C-process fails to decide within the budget.
+pub fn run_ksa_with(
+    n: usize,
+    k: usize,
+    stab: u64,
+    seed: u64,
+    obs: &MetricsHandle,
+    backend: Option<Box<dyn MemoryBackend>>,
+) -> u64 {
     let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
     let c: Vec<Box<dyn DynProcess>> = inputs
         .iter()
@@ -72,8 +95,8 @@ pub fn run_ksa_backend(
         .collect();
     let fd = FdGen::vector_omega_k(FailurePattern::failure_free(n), k, stab, seed);
     let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
-    if nodes > 0 {
-        run = run.with_backend(Box::new(AbdBackend::new(NetConfig::new(nodes, seed ^ 0x7e7))));
+    if let Some(b) = backend {
+        run = run.with_backend(b);
     }
     let mut sched = run.fair_sched(seed ^ 0xb5);
     run.run_until_decided(&mut sched, 5_000_000)
@@ -94,8 +117,9 @@ mod tests {
         }
     }
 
-    /// Times `f` `samples` times and returns `(median, min, max)` in ns.
-    fn time_ns(samples: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    /// Times `f` `samples` times and returns `(median, min, max, variance)`
+    /// in ns (variance is the unbiased sample variance, ns²).
+    fn time_ns(samples: usize, mut f: impl FnMut()) -> (f64, f64, f64, f64) {
         let mut xs: Vec<f64> = (0..samples)
             .map(|_| {
                 let t = Instant::now();
@@ -104,7 +128,10 @@ mod tests {
             })
             .collect();
         xs.sort_by(|a, b| a.total_cmp(b));
-        (xs[xs.len() / 2], xs[0], xs[xs.len() - 1])
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (xs.len() as f64 - 1.0).max(1.0);
+        (xs[xs.len() / 2], xs[0], xs[xs.len() - 1], var)
     }
 
     /// Regenerates `BENCH_net.json` at the repository root:
@@ -113,10 +140,10 @@ mod tests {
     #[ignore = "writes BENCH_net.json; run explicitly to regenerate it"]
     fn emit_bench_net() {
         const SAMPLES: usize = 15;
-        let row = |id: &str, (med, min, max): (f64, f64, f64)| {
+        let row = |id: &str, (med, min, max, var): (f64, f64, f64, f64)| {
             format!(
                 "      {{\"id\": \"{id}\", \"median_ns\": {med:.1}, \"min_ns\": {min:.1}, \
-                 \"max_ns\": {max:.1}, \"samples\": {SAMPLES}}}"
+                 \"max_ns\": {max:.1}, \"variance_ns2\": {var:.1}, \"samples\": {SAMPLES}}}"
             )
         };
         let ksa = |nodes: usize| {
@@ -154,11 +181,12 @@ mod tests {
              measurements: cargo bench -p wfa-bench --bench net. Methodology: DESIGN.md \
              section 9.\",\n  \
              \"date\": \"2026-08-05\",\n  \
-             \"host\": {{\n    \"note\": \"Development container exposing a single CPU core; \
-             wall-clock variance is high. Ratios are more stable than absolute numbers. \
-             Schedule-slot equality between the substrates is exact and pinned by \
-             tests/e14_net.rs, so every ratio below is pure per-operation emulation cost \
-             (2 phases x nodes replicas x 2 message legs per register op).\"\n  }},\n  \
+             \"host\": {{\n    \"cores\": {cores},\n    \"note\": \"Per-row variance_ns2 is \
+             the unbiased sample variance of the wall-clock samples; with few cores exposed \
+             it runs high, and ratios are more stable than absolute numbers. Schedule-slot \
+             equality between the substrates is exact and pinned by tests/e14_net.rs, so \
+             every ratio below is pure per-operation emulation cost (2 phases x nodes \
+             replicas x 2 message legs per register op).\"\n  }},\n  \
              \"results\": [\n{rows}\n  ],\n  \
              \"overhead_median\": {{\n    \
              \"ksa_n4_abd4_vs_shm\": {o4:.2},\n    \
@@ -172,6 +200,7 @@ mod tests {
              \"Message counters for the canonical run are pinned exactly in tests/e14_net.rs: \
              292 ops -> 4672 messages at 4 replicas, zero drops on the healthy network.\"\n  \
              ]\n}}\n",
+            cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
             o4 = net4.0 / shm4.0,
             o8 = net8.0 / shm8.0,
             o93 = r9.0 / r3.0,

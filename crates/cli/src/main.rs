@@ -46,16 +46,33 @@ use wfa::tasks::task::Task;
 
 /// Builds the register backend selected by `--backend`: `None` for the
 /// in-process shared memory (`shm`, the default), or the ABD emulation over
-/// `nodes` simulated replicas (`net`). The net delay seed is derived from
-/// the run seed so `--seed` fully determines the network too.
+/// `nodes` simulated replicas (`net`), optionally batching up to
+/// `batch_max` same-pid ops per quorum round (`--batch-max`, default 1 =
+/// the e14-pinned classic path) and splitting the register space across
+/// `shards` independent replica groups of `nodes` replicas each
+/// (`--shards`, default 1). The net delay seed is derived from the run
+/// seed so `--seed` fully determines the network too.
 fn select_backend(
     backend: &str,
     nodes: usize,
     seed: u64,
+    batch_max: u64,
+    shards: usize,
 ) -> Result<Option<Box<dyn wfa::kernel::backend::MemoryBackend>>, String> {
     match backend {
         "shm" => Ok(None),
-        "net" => Ok(Some(Box::new(AbdBackend::new(NetConfig::new(nodes, seed ^ 0x7e7))))),
+        "net" => {
+            let mut cfg = NetConfig::new(nodes, seed ^ 0x7e7);
+            cfg.batch_max = batch_max.max(1);
+            Ok(Some(if shards > 1 {
+                Box::new(wfa::net::abd::sharded_backend(
+                    &cfg,
+                    &wfa::net::config::ShardMap::new(shards, nodes),
+                ))
+            } else {
+                Box::new(AbdBackend::new(cfg))
+            }))
+        }
         other => Err(format!("unknown backend `{other}` (try: shm, net)")),
     }
 }
@@ -101,6 +118,8 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
     let as_json: bool = args.get("json", false)?;
     let backend = args.get("backend", "shm".to_string())?;
     let net_nodes: usize = args.get("net-nodes", n)?;
+    let batch_max: u64 = args.get("batch-max", 1)?;
+    let shards: usize = args.get("shards", 1)?;
     if k == 0 || k > n {
         return Err("need 1 ≤ k ≤ n".into());
     }
@@ -126,7 +145,7 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
         .collect();
     let obs = MetricsHandle::counters();
     let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
-    if let Some(b) = select_backend(&backend, net_nodes, seed)? {
+    if let Some(b) = select_backend(&backend, net_nodes, seed, batch_max, shards)? {
         run = run.with_backend(b);
     }
     let mut sched = run.fair_sched(seed ^ 0xc11);
@@ -188,6 +207,8 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
     let as_json: bool = args.get("json", false)?;
     let backend = args.get("backend", "shm".to_string())?;
     let net_nodes: usize = args.get("net-nodes", j)?;
+    let batch_max: u64 = args.get("batch-max", 1)?;
+    let shards: usize = args.get("shards", 1)?;
     let m = j + 1;
     let obs = MetricsHandle::counters();
     let mut rows: Vec<(usize, usize, i64)> = Vec::new();
@@ -196,7 +217,7 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
         for seed in 0..seeds {
             let mut ex = Executor::new();
             ex.set_metrics(obs.clone());
-            if let Some(b) = select_backend(&backend, net_nodes, seed)? {
+            if let Some(b) = select_backend(&backend, net_nodes, seed, batch_max, shards)? {
                 ex.set_backend(b);
             }
             let pids: Vec<Pid> =
@@ -239,6 +260,27 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
         for (k, bound, observed) in &rows {
             println!("{k:>4} {bound:>8} {observed:>8}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_throughput(args: &Args) -> Result<(), String> {
+    let ops: u64 = args.get("ops", 2_000)?;
+    let seed: u64 = args.get("seed", 1)?;
+    if ops == 0 {
+        return Err("need --ops ≥ 1".into());
+    }
+    // The report carries only deterministic counts (ops, messages, batch
+    // rounds, per-shard traffic) — a pure function of (--ops, --seed), so
+    // CI diffs it byte-for-byte across WFA_THREADS values. Wall-clock
+    // curves live in BENCH_net_throughput.json (emit_bench_net_throughput).
+    let report = wfa_bench::throughput::b10_report(ops, seed);
+    match args.0.get("out") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("B10 report ({} bytes) written to {path}", report.len());
+        }
+        None => print!("{report}"),
     }
     Ok(())
 }
@@ -699,6 +741,7 @@ fn usage() -> &'static str {
      COMMANDS\n\
        ksa        EFD k-set agreement   (--n --k --stab --seed --crashes --backend)\n\
        rename     renaming sweep        (--j --seeds --backend)\n\
+       throughput B10 net-backend report (--ops --seed --out)\n\
        hierarchy  Theorem-10 table      (--n --runs)\n\
        refute     Lemma-11 pipeline\n\
        extract    Figure-1 extraction   (--slots --stab --seed)\n\
@@ -709,7 +752,13 @@ fn usage() -> &'static str {
      `ksa` and `rename` accept --json for a machine-readable report with\n\
      the canonical metrics snapshot attached, and --backend shm|net to run\n\
      over the in-process shared memory or the ABD-replicated network\n\
-     emulation (identical decision values for identical seeds)."
+     emulation (identical decision values for identical seeds). With\n\
+     --backend net, --batch-max B coalesces up to B same-pid register ops\n\
+     per quorum round and --shards S splits the register space across S\n\
+     independent replica groups of --net-nodes replicas each; neither knob\n\
+     changes decisions or schedules. `throughput` prints the deterministic\n\
+     B10 counter report for those knobs (byte-identical for any thread\n\
+     count; wall-clock curves live in BENCH_net_throughput.json)."
 }
 
 fn main() -> ExitCode {
@@ -741,6 +790,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "ksa" => cmd_ksa(&args),
         "rename" => cmd_rename(&args),
+        "throughput" => cmd_throughput(&args),
         "hierarchy" => cmd_hierarchy(&args),
         "refute" => cmd_refute(&args),
         "extract" => cmd_extract(&args),

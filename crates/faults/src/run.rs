@@ -79,6 +79,7 @@ pub fn build_run(
         let mut cfg = NetConfig::new(sc.net_nodes, seed ^ 0x7e7);
         cfg.faults = plan.net_faults.clone();
         cfg.fifo = sc.net_fifo;
+        cfg.batch_max = sc.net_batch;
         run = run.with_backend(Box::new(AbdBackend::new(cfg)));
     }
     (run, input)
@@ -376,6 +377,44 @@ mod tests {
         let net = run_plan(&Scenario::ksa_net(), &FaultPlan::clean(), 9);
         assert_eq!(shm.report.output, net.report.output);
         assert_eq!(shm.schedule, net.schedule);
+    }
+
+    #[test]
+    fn batched_scenario_reproduces_unbatched_outcomes() {
+        // Batching is a message-economy change only: `ksa-net-batch` must
+        // decide the same values on the same schedules as `ksa-net` for
+        // every plan and seed, and degrade whenever `ksa-net` degrades
+        // (the stranded phase is named `batch` instead of a per-op phase,
+        // but the quorum-loss observation itself is preserved).
+        let plain = Scenario::ksa_net();
+        let batched = Scenario::ksa_net_batch();
+        assert_eq!(batched.net_batch, 4);
+        for plan in [
+            FaultPlan::clean(),
+            FaultPlan::clean().drop_link(1, 0, plain.stab),
+            FaultPlan::clean().partition(vec![0, 1], 0), // majority-breaking
+        ] {
+            for seed in [3, 9] {
+                let a = run_plan(&plain, &plan, seed);
+                let b = run_plan(&batched, &plan, seed);
+                assert_eq!(a.report.output, b.report.output, "{}", plan.describe());
+                assert_eq!(a.schedule, b.schedule, "{}", plan.describe());
+                let lost = |o: &PlanOutcome| {
+                    o.violations
+                        .iter()
+                        .any(|v| matches!(v.kind, ViolationKind::QuorumLost { .. }))
+                };
+                assert_eq!(lost(&a), lost(&b), "{}", plan.describe());
+                let safety = |o: &PlanOutcome| {
+                    o.violations
+                        .iter()
+                        .filter(|v| !matches!(v.kind, ViolationKind::QuorumLost { .. }))
+                        .map(|v| v.kind.clone())
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(safety(&a), safety(&b), "{}", plan.describe());
+            }
+        }
     }
 
     #[test]

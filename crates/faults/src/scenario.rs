@@ -68,6 +68,11 @@ pub struct Scenario {
     /// in send order, `false` lets messages overtake freely (ignored on
     /// shared memory).
     pub net_fifo: bool,
+    /// Op-batching factor for the net backend (`NetConfig::batch_max`); `1`
+    /// runs the classic one-round-per-op protocol (ignored on shared
+    /// memory). Batching never changes slots or decisions, so swept plans
+    /// produce the same violations — only the message economy differs.
+    pub net_batch: u64,
     /// The Δ to validate against.
     pub task: Arc<dyn Task>,
     /// Builds the (honest) detector for a failure pattern.
@@ -96,6 +101,7 @@ impl Scenario {
             "fragile-commit" => Some(Scenario::fragile_commit()),
             "ksa" => Some(Scenario::ksa()),
             "ksa-net" => Some(Scenario::ksa_net()),
+            "ksa-net-batch" => Some(Scenario::ksa_net_batch()),
             "ksa-net-reorder" => Some(Scenario::ksa_net_reorder()),
             "renaming" => Some(Scenario::renaming()),
             "wait-for-all" => Some(Scenario::wait_for_all()),
@@ -110,6 +116,7 @@ impl Scenario {
             "fragile-commit",
             "ksa",
             "ksa-net",
+            "ksa-net-batch",
             "ksa-net-reorder",
             "renaming",
             "wait-for-all",
@@ -126,6 +133,7 @@ impl Scenario {
             stab: 50,
             net_nodes: 0,
             net_fifo: true,
+            net_batch: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: false }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -156,6 +164,7 @@ impl Scenario {
             stab: 50,
             net_nodes: 0,
             net_fifo: true,
+            net_batch: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -185,6 +194,7 @@ impl Scenario {
             stab: 100,
             net_nodes: 0,
             net_fifo: true,
+            net_batch: 1,
             task: Arc::new(SetAgreement::new(n, k as usize)),
             mk_fd: Arc::new(move |p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -230,6 +240,18 @@ impl Scenario {
         sc
     }
 
+    /// [`Scenario::ksa_net`] with op batching (`batch_max = 4`): adjacent
+    /// same-pid register ops coalesce into single quorum rounds. Decisions,
+    /// slots, and therefore violations are identical to `ksa-net` for every
+    /// plan — the fixture that keeps the sweep honest about the batched
+    /// path's equivalence guarantee.
+    pub fn ksa_net_batch() -> Scenario {
+        let mut sc = Scenario::ksa_net();
+        sc.name = "ksa-net-batch".into();
+        sc.net_batch = 4;
+        sc
+    }
+
     /// The deliberately non-wait-free adopt-commit variant: guaranteed
     /// discoverable wait-freedom violations (stop any party and everyone
     /// else blocks on its unpublished proposal).
@@ -242,6 +264,7 @@ impl Scenario {
             stab: 50,
             net_nodes: 0,
             net_fifo: true,
+            net_batch: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -271,6 +294,7 @@ impl Scenario {
             stab: 50,
             net_nodes: 0,
             net_fifo: true,
+            net_batch: 1,
             task: Arc::new(Renaming::new(m, j, 2 * j - 1)),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {

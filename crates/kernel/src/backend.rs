@@ -133,6 +133,96 @@ impl std::fmt::Debug for Box<dyn MemoryBackend> {
     }
 }
 
+/// A register-space-sharding router: partitions the register file across
+/// independent [`MemoryBackend`] groups so each group's cost (replica
+/// traffic, quorum size, crash state) is paid only by the keys routed to it.
+///
+/// Routing is [`RegKey::shard_index`] — a pure function of the key — so a
+/// register always lives in exactly one group and each group's substrate
+/// linearizes its own disjoint key set. Sequential composition of
+/// linearizable disjoint register files is itself linearizable, so the
+/// router satisfies the [`MemoryBackend`] contract whenever every group
+/// does. The combined [`ShardedBackend::view`] mirrors every write, keeping
+/// verifier/display behaviour identical to a single-group backend.
+pub struct ShardedBackend {
+    shards: Vec<Box<dyn MemoryBackend>>,
+    view: SharedMemory,
+}
+
+impl ShardedBackend {
+    /// Wraps `shards` backend groups (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<Box<dyn MemoryBackend>>) -> ShardedBackend {
+        assert!(!shards.is_empty(), "a sharded backend needs at least one group");
+        ShardedBackend { shards, view: SharedMemory::new() }
+    }
+
+    /// Number of replica groups.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The group backend `key` routes to (for tests and displays).
+    pub fn shard_of(&self, key: RegKey) -> usize {
+        key.shard_index(self.shards.len())
+    }
+}
+
+impl Clone for ShardedBackend {
+    fn clone(&self) -> ShardedBackend {
+        ShardedBackend { shards: self.shards.clone(), view: self.view.clone() }
+    }
+}
+
+impl MemoryBackend for ShardedBackend {
+    fn read(&mut self, me: Pid, now: u64, key: RegKey) -> Value {
+        let s = key.shard_index(self.shards.len());
+        let val = self.shards[s].read(me, now, key);
+        debug_assert_eq!(
+            val,
+            self.view.peek(key),
+            "shard {s} diverged from the combined view on {key:?}"
+        );
+        val
+    }
+
+    fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value) {
+        let s = key.shard_index(self.shards.len());
+        self.shards[s].write(me, now, key, val.clone());
+        self.view.write(key, val);
+    }
+
+    fn view(&self) -> &SharedMemory {
+        &self.view
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn Hasher) {
+        use std::hash::Hash;
+        self.shards.len().hash(&mut h);
+        self.view.fingerprint(&mut h);
+        for shard in &self.shards {
+            shard.fingerprint(h);
+        }
+    }
+
+    fn clone_backend(&self) -> Box<dyn MemoryBackend> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> String {
+        let inner: Vec<String> = self.shards.iter().map(|s| s.label()).collect();
+        format!("sharded[{}]", inner.join("+"))
+    }
+
+    fn drain_degradations(&mut self) -> Vec<Degradation> {
+        // Group-index order keeps the drained sequence deterministic.
+        self.shards.iter_mut().flat_map(|s| s.drain_degradations()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +267,32 @@ mod tests {
         let c = b.clone();
         assert_eq!(c.view().peek(RegKey::new(1)), Value::Int(9));
         assert_eq!(format!("{c:?}"), "MemoryBackend(passthrough)");
+    }
+
+    #[test]
+    fn sharded_passthrough_matches_shared_memory() {
+        let mut sharded =
+            ShardedBackend::new((0..4).map(|_| Box::<Passthrough>::default() as _).collect());
+        let mut direct = SharedMemory::new();
+        let keys: Vec<RegKey> =
+            (0..32u32).map(|a| RegKey::new((a % 3) as u16).at(0, a).at(2, a / 5)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            sharded.write(Pid(0), i as u64, *k, Value::Int(i as i64));
+            direct.write(*k, Value::Int(i as i64));
+        }
+        for k in &keys {
+            assert_eq!(sharded.read(Pid(1), 99, *k), direct.peek(*k));
+            assert_eq!(sharded.view().peek(*k), direct.peek(*k));
+        }
+        // Each key lives in exactly the group its pure routing names.
+        for k in &keys {
+            assert_eq!(sharded.shard_of(*k), k.shard_index(4));
+        }
+        // The clone is independent.
+        let mut forked = sharded.clone_backend();
+        forked.write(Pid(0), 100, keys[0], Value::Int(-1));
+        assert_eq!(forked.view().peek(keys[0]), Value::Int(-1));
+        assert_eq!(sharded.view().peek(keys[0]), Value::Int(0));
     }
 
     #[test]

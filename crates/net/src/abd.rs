@@ -49,18 +49,37 @@
 //! lazily repair replica state that trails the view (write-back under a
 //! fresh tag). The legacy `net: quorum unreachable` panic survives behind
 //! [`NetConfig::legacy_panic`] for the panic-isolation path.
+//!
+//! **Op batching** ([`NetConfig::batch_max`] > 1). The EFD algorithms hammer
+//! a small register set in tight same-process loops, so adjacent ops by one
+//! pid are coalesced into a single two-phase quorum round: each op is served
+//! immediately from the linearized view (reads return `view.peek`, writes
+//! land in the view) and its key is queued; the buffer flushes — one phase-1
+//! read-quorum plus one phase-2 write-back carrying the whole
+//! (register, value) batch — when it reaches `batch_max`, or eagerly when an
+//! op by a *different* pid arrives (cross-pid batching would let one
+//! process's network stall reorder another's op, which the slot-equivalence
+//! guarantee forbids). Every flushed key is written back under a fresh tag
+//! with its current view value, so replicas converge to the linearized truth
+//! exactly as the unbatched protocol leaves them. Because the view is the
+//! value authority in both modes, a batched run returns the same value for
+//! every op — and therefore consumes the same schedule slots and reaches the
+//! same decisions — as the unbatched run; only the message economy differs.
+//! The read-optimized unanimity skip does not apply to batched rounds (a
+//! batch's phase 2 carries fresh tags, which are never already installed).
+//! With the default `batch_max = 1` the classic path runs byte-identically.
 
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use wfa_kernel::backend::{Degradation, MemoryBackend};
+use wfa_kernel::backend::{Degradation, MemoryBackend, ShardedBackend};
 use wfa_kernel::memory::{RegKey, SharedMemory};
 use wfa_kernel::value::{Pid, Value};
 use wfa_obs::local as obs_local;
 use wfa_obs::metrics::{Counter, HistKind};
 use wfa_obs::span::{seq, EventKind, SpanKind};
 
-use crate::config::{Durability, NetConfig, NetFault};
+use crate::config::{Durability, NetConfig, NetFault, ShardMap};
 use crate::runtime::NetRuntime;
 
 /// A write tag: `(sequence number, writer pid)`, ordered lexicographically.
@@ -68,8 +87,49 @@ use crate::runtime::NetRuntime;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 struct Tag(u64, u64);
 
-/// One replica's register store: the tagged latest-known copy per key.
-type Store = BTreeMap<RegKey, (Tag, Value)>;
+/// One replica's register store: tagged copies in a dense slot vector
+/// indexed by the backend-wide register directory (`AbdBackend::dir`).
+/// Registers are a small fixed set, so slot indexing replaces the per-op
+/// tree walk of the former `BTreeMap` store on the hot path.
+#[derive(Clone, Debug, Default)]
+struct Store {
+    slots: Vec<Option<(Tag, Value)>>,
+}
+
+impl Store {
+    fn get(&self, kx: usize) -> Option<&(Tag, Value)> {
+        self.slots.get(kx).and_then(Option::as_ref)
+    }
+
+    /// Installs `(tag, val)` at slot `kx` iff it beats the current copy
+    /// (store requests are idempotent and ordered by tag, so duplicates and
+    /// stale retransmissions are harmless).
+    fn put_max(&mut self, kx: usize, tag: Tag, val: &Value) {
+        if self.slots.len() <= kx {
+            self.slots.resize(kx + 1, None);
+        }
+        match &self.slots[kx] {
+            Some((t, _)) if *t >= tag => {}
+            _ => self.slots[kx] = Some((tag, val.clone())),
+        }
+    }
+
+    /// Wipes every copy (a volatile replica crash).
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+
+    /// `true` iff no slot holds a copy.
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Number of slots holding a copy.
+    fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
 
 /// The quorum-replicated register file. Drop-in [`MemoryBackend`]:
 /// `Executor::set_backend(Box::new(AbdBackend::new(cfg)))` reroutes every
@@ -78,6 +138,11 @@ type Store = BTreeMap<RegKey, (Tag, Value)>;
 pub struct AbdBackend {
     net: NetRuntime,
     replicas: Vec<Store>,
+    /// The register directory: maps each key ever addressed to its dense
+    /// slot index, shared by every replica (a register occupies the same
+    /// slot cluster-wide). Interning order is the op sequence's first-use
+    /// order; fingerprints iterate this map so they stay key-canonical.
+    dir: BTreeMap<RegKey, usize>,
     /// The linearized contents — what each operation's outcome agreed to.
     /// Serves [`MemoryBackend::view`] and doubles as a self-check: a
     /// quorum read that disagrees with the view would be a linearizability
@@ -106,6 +171,21 @@ pub struct AbdBackend {
     /// Degradations raised but not yet drained by the executor. An
     /// observation stream like the trace: excluded from the fingerprint.
     pending: Vec<Degradation>,
+    /// Keys awaiting the next batched flush, in first-enqueue order
+    /// (repeat accesses to a queued key dedupe). Empty when
+    /// [`NetConfig::batch_max`] is 1.
+    batch_keys: Vec<RegKey>,
+    /// Pid whose adjacent ops the current batch coalesces.
+    batch_pid: u64,
+    /// Kernel time of the latest op absorbed into the batch (labels the
+    /// degradation if the flush stalls; observation-only).
+    batch_time: u64,
+    /// Ops absorbed since the last flush (≥ `batch_keys.len()`).
+    batch_ops: u64,
+    /// How many of those were reads.
+    batch_reads: u64,
+    /// How many of those were writes.
+    batch_writes: u64,
 }
 
 impl AbdBackend {
@@ -124,7 +204,8 @@ impl AbdBackend {
         let nodes = cfg.nodes;
         AbdBackend {
             net: NetRuntime::new(cfg),
-            replicas: vec![Store::new(); nodes],
+            replicas: vec![Store::default(); nodes],
+            dir: BTreeMap::new(),
             view: SharedMemory::new(),
             events,
             cursor: 0,
@@ -133,6 +214,12 @@ impl AbdBackend {
             degraded: false,
             ever_degraded: false,
             pending: Vec::new(),
+            batch_keys: Vec::new(),
+            batch_pid: 0,
+            batch_time: 0,
+            batch_ops: 0,
+            batch_reads: 0,
+            batch_writes: 0,
         }
     }
 
@@ -190,17 +277,18 @@ impl AbdBackend {
         let Some((peers, done)) = self.net.sync_round(node, at, &serving) else {
             return;
         };
-        let merged: Vec<(RegKey, (Tag, Value))> = peers
+        let merged: Vec<(usize, Tag, Value)> = peers
             .iter()
-            .flat_map(|p| self.replicas[*p].iter().map(|(k, tv)| (*k, tv.clone())))
+            .flat_map(|p| {
+                self.replicas[*p]
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(kx, s)| s.as_ref().map(|(t, v)| (kx, *t, v.clone())))
+            })
             .collect();
-        for (key, (tag, val)) in merged {
-            match self.replicas[node].get(&key) {
-                Some((t, _)) if *t >= tag => {}
-                _ => {
-                    self.replicas[node].insert(key, (tag, val));
-                }
-            }
+        for (kx, tag, val) in merged {
+            self.replicas[node].put_max(kx, tag, &val);
         }
         self.serving_from[node] = done;
         self.unsynced[node] = false;
@@ -279,58 +367,157 @@ impl AbdBackend {
         Err(())
     }
 
-    /// The maximum `(tag, value)` pair for `key` across the quorum
+    /// The dense slot index of `key`, interning it on first use.
+    fn key_index(&mut self, key: RegKey) -> usize {
+        let next = self.dir.len();
+        *self.dir.entry(key).or_insert(next)
+    }
+
+    /// The maximum `(tag, value)` pair at slot `kx` across the quorum
     /// (`(Tag::default(), ⊥)` when no quorum member has a copy).
-    fn collect_max(&self, quorum: &[usize], key: RegKey) -> (Tag, Value) {
+    fn collect_max(&self, quorum: &[usize], kx: usize) -> (Tag, Value) {
         quorum
             .iter()
-            .filter_map(|n| self.replicas[*n].get(&key))
+            .filter_map(|n| self.replicas[*n].get(kx))
             .max_by_key(|(t, _)| *t)
             .cloned()
             .unwrap_or((Tag::default(), Value::Unit))
     }
 
-    /// Stores `(tag, val)` for `key` at every replica in `nodes`, keeping
-    /// the per-replica maximum (store requests are idempotent and ordered
-    /// by tag, so duplicates and stale retransmissions are harmless). A
-    /// replica that crashed after accepting the request mid-phase lost the
-    /// copy and is skipped.
-    fn apply(&mut self, nodes: &[usize], key: RegKey, tag: Tag, val: &Value) {
+    /// Stores `(tag, val)` at slot `kx` of every replica in `nodes`, keeping
+    /// the per-replica maximum. A replica that crashed after accepting the
+    /// request mid-phase lost the copy and is skipped.
+    fn apply(&mut self, nodes: &[usize], kx: usize, tag: Tag, val: &Value) {
         for n in nodes {
             if self.serving_from[*n] == u64::MAX {
                 continue;
             }
-            let store = &mut self.replicas[*n];
-            match store.get(&key) {
-                Some((t, _)) if *t >= tag => {}
-                _ => {
-                    store.insert(key, (tag, val.clone()));
-                }
-            }
+            self.replicas[*n].put_max(kx, tag, val);
         }
     }
 
-    /// `true` iff every quorum member holds exactly `tag` for `key` (or,
+    /// `true` iff every quorum member holds exactly `tag` at slot `kx` (or,
     /// when `tag` is the default, none holds a copy). A unanimous phase 1
     /// proves the value is already at a majority, so the read-ordering
     /// write-back is redundant — the read-optimized variant skips it.
-    fn unanimous(&self, quorum: &[usize], key: RegKey, tag: Tag) -> bool {
-        quorum.iter().all(|n| match self.replicas[*n].get(&key) {
+    fn unanimous(&self, quorum: &[usize], kx: usize, tag: Tag) -> bool {
+        quorum.iter().all(|n| match self.replicas[*n].get(kx) {
             Some((t, _)) => *t == tag,
             None => tag == Tag::default(),
         })
     }
+
+    /// `true` iff the op-batching path is on.
+    fn batching(&self) -> bool {
+        self.net.config().batch_max > 1
+    }
+
+    /// Absorbs one register op into the batch buffer and flushes when the
+    /// buffer reaches [`NetConfig::batch_max`]. The caller has already
+    /// served the op from the view.
+    fn enqueue(&mut self, me: Pid, now: u64, key: RegKey, is_read: bool) {
+        obs_local::bump(Counter::NetBatchedOps);
+        self.batch_pid = me.0 as u64;
+        self.batch_time = now;
+        self.batch_ops += 1;
+        if is_read {
+            self.batch_reads += 1;
+        } else {
+            self.batch_writes += 1;
+        }
+        if !self.batch_keys.contains(&key) {
+            self.batch_keys.push(key);
+        }
+        if self.batch_ops >= self.net.config().batch_max {
+            self.flush_batch();
+        }
+    }
+
+    /// Flushes the batch buffer eagerly when `me` differs from the buffered
+    /// run's pid — only *adjacent same-pid* ops coalesce (see module docs).
+    fn flush_if_foreign(&mut self, me: Pid) {
+        if self.batch_ops > 0 && self.batch_pid != me.0 as u64 {
+            self.flush_batch();
+        }
+    }
+
+    /// Flushes the batched ops in one coalesced quorum round: a single
+    /// phase-1 read-quorum establishing the per-key maximum tags, then a
+    /// single phase-2 write-back carrying the whole (register, value) batch
+    /// under fresh tags. Values come from the linearized view (the value
+    /// authority in batched mode), so the flush converges the replicas to
+    /// exactly where the unbatched protocol would leave them. A no-op when
+    /// the buffer is empty; on quorum loss the buffer is dropped — the view
+    /// already carries every batched op and `phase` raised the degradation.
+    pub fn flush_batch(&mut self) {
+        if self.batch_ops == 0 {
+            return;
+        }
+        let me = Pid(self.batch_pid as usize);
+        let time = self.batch_time;
+        let keys = std::mem::take(&mut self.batch_keys);
+        let (ops, reads, writes) = (self.batch_ops, self.batch_reads, self.batch_writes);
+        (self.batch_ops, self.batch_reads, self.batch_writes) = (0, 0, 0);
+        obs_local::bump(Counter::NetBatchRounds);
+        obs_local::observe(HistKind::NetBatchSize, ops);
+        let start = self.net.now();
+        let first = keys[0];
+        // Phase 1: one read-quorum covers every key in the batch.
+        let Ok((quorum, _, _)) = self.phase("batch", first, me, time) else {
+            return;
+        };
+        let mut entries: Vec<(usize, Tag, Value)> = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let kx = self.key_index(*key);
+            let (Tag(ts, _), _) = self.collect_max(&quorum, kx);
+            entries.push((kx, Tag(ts + 1, me.0 as u64), self.view.peek(*key)));
+        }
+        // Phase 2: one write-back carries the whole batch.
+        let Ok((_, delivered, done)) = self.phase("batch-store", first, me, time) else {
+            return;
+        };
+        for (kx, tag, val) in &entries {
+            self.apply(&delivered, *kx, *tag, val);
+        }
+        obs_local::add(Counter::NetQuorumReads, reads);
+        obs_local::add(Counter::NetQuorumWrites, writes);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
+        obs_local::observe(HistKind::QuorumLatency, done - start);
+    }
+}
+
+/// Builds a register-space-sharded backend from `map`: one independent
+/// [`AbdBackend`] cluster per replica group (each with its own quorum,
+/// channels, delay stream, and crash/recovery state, derived from `base` by
+/// [`ShardMap::config_for`]), routed per-op by `RegKey::shard_index` in the
+/// kernel's [`ShardedBackend`] seam — shm callers are untouched.
+pub fn sharded_backend(base: &NetConfig, map: &ShardMap) -> ShardedBackend {
+    ShardedBackend::new(
+        map.configs(base)
+            .into_iter()
+            .map(|cfg| Box::new(AbdBackend::new(cfg)) as Box<dyn MemoryBackend>)
+            .collect(),
+    )
 }
 
 impl MemoryBackend for AbdBackend {
     fn read(&mut self, me: Pid, now: u64, key: RegKey) -> Value {
+        if self.batching() {
+            // Batched: serve the linearized view now, pay the quorum round
+            // at the next flush.
+            self.flush_if_foreign(me);
+            let val = self.view.peek(key);
+            self.enqueue(me, now, key, true);
+            return val;
+        }
+        let kx = self.key_index(key);
         let start = self.net.now();
         // Phase 1: query a majority for the latest tagged copy.
         let Ok((quorum, _, p1_done)) = self.phase("read", key, me, now) else {
             // Degraded: the view is the linearized truth; serve it.
             return self.view.peek(key);
         };
-        let (mut tag, mut val) = self.collect_max(&quorum, key);
+        let (mut tag, mut val) = self.collect_max(&quorum, kx);
         // Lazy repair after a degraded spell: writes served while degraded
         // reached only the view, so a quorum value that trails it is
         // converged by writing the view's value back under a fresh tag.
@@ -339,7 +526,7 @@ impl MemoryBackend for AbdBackend {
             tag = Tag(tag.0 + 1, me.0 as u64);
             val = self.view.peek(key);
         }
-        let done = if !repaired && self.net.config().read_optimized && self.unanimous(&quorum, key, tag) {
+        let done = if !repaired && self.net.config().read_optimized && self.unanimous(&quorum, kx, tag) {
             // Unanimous phase 1 ⇒ the pair is already at a majority; the
             // ordering write-back is redundant.
             obs_local::bump(Counter::NetReadbackSkips);
@@ -350,7 +537,7 @@ impl MemoryBackend for AbdBackend {
             let Ok((_, delivered, p2_done)) = self.phase("read-back", key, me, now) else {
                 return self.view.peek(key);
             };
-            self.apply(&delivered, key, tag, &val);
+            self.apply(&delivered, kx, tag, &val);
             p2_done
         };
         obs_local::bump(Counter::NetQuorumReads);
@@ -366,20 +553,29 @@ impl MemoryBackend for AbdBackend {
     }
 
     fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value) {
+        if self.batching() {
+            // Batched: the view carries the write now, the replicas get it
+            // (under a fresh tag) at the next flush.
+            self.flush_if_foreign(me);
+            self.view.write(key, val);
+            self.enqueue(me, now, key, false);
+            return;
+        }
+        let kx = self.key_index(key);
         let start = self.net.now();
         // Phase 1: learn the maximum tag a majority has seen.
         let Ok((quorum, _, _)) = self.phase("write", key, me, now) else {
             self.view.write(key, val); // degraded: the view carries the write
             return;
         };
-        let (Tag(ts, _), _) = self.collect_max(&quorum, key);
+        let (Tag(ts, _), _) = self.collect_max(&quorum, kx);
         let tag = Tag(ts + 1, me.0 as u64);
         // Phase 2: store the new tagged value at (at least) a majority.
         let Ok((_, delivered, done)) = self.phase("write-store", key, me, now) else {
             self.view.write(key, val);
             return;
         };
-        self.apply(&delivered, key, tag, &val);
+        self.apply(&delivered, kx, tag, &val);
         obs_local::bump(Counter::NetQuorumWrites);
         obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::QuorumOp, dur: done - start });
         obs_local::observe(HistKind::QuorumLatency, done - start);
@@ -397,21 +593,32 @@ impl MemoryBackend for AbdBackend {
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.view.fingerprint(&mut h);
         self.net.hash(&mut h);
+        // Iterating the directory keeps store hashing key-canonical (the
+        // interning order itself is not behaviour-affecting).
         for store in &self.replicas {
-            store.len().hash(&mut h);
-            for (k, (t, v)) in store {
-                k.hash(&mut h);
-                t.hash(&mut h);
-                v.hash(&mut h);
+            store.occupied().hash(&mut h);
+            for (k, kx) in &self.dir {
+                if let Some((t, v)) = store.get(*kx) {
+                    k.hash(&mut h);
+                    t.hash(&mut h);
+                    v.hash(&mut h);
+                }
             }
         }
         // Replica-failure machine state (`pending` is an observation
-        // stream, like the trace — deliberately excluded).
+        // stream, like the trace — deliberately excluded, as is
+        // `batch_time`, which only labels degradations).
         self.cursor.hash(&mut h);
         self.serving_from.hash(&mut h);
         self.unsynced.hash(&mut h);
         self.degraded.hash(&mut h);
         self.ever_degraded.hash(&mut h);
+        // The unflushed batch buffer affects every future flush.
+        self.batch_keys.hash(&mut h);
+        self.batch_pid.hash(&mut h);
+        self.batch_ops.hash(&mut h);
+        self.batch_reads.hash(&mut h);
+        self.batch_writes.hash(&mut h);
     }
 
     fn clone_backend(&self) -> Box<dyn MemoryBackend> {
@@ -457,7 +664,7 @@ mod tests {
         let key = RegKey::new(0);
         abd.write(Pid(0), 0, key, Value::Int(1));
         abd.write(Pid(2), 1, key, Value::Int(2));
-        let (tag, val) = abd.collect_max(&[0, 1, 2], key);
+        let (tag, val) = abd.collect_max(&[0, 1, 2], abd.dir[&key]);
         assert_eq!(tag, Tag(2, 2));
         assert_eq!(val, Value::Int(2));
     }
@@ -532,7 +739,7 @@ mod tests {
         }
         assert!(!abd.drain_degradations().is_empty());
         // The repair wrote the view's value back under a fresh tag.
-        let (tag, val) = abd.collect_max(&[0, 1, 2], key);
+        let (tag, val) = abd.collect_max(&[0, 1, 2], abd.dir[&key]);
         assert_eq!((val, tag.1), (Value::Int(1), 1), "repaired under the reader's tag");
         assert_eq!(abd.read(Pid(0), 2, key), Value::Int(1));
     }
@@ -576,7 +783,7 @@ mod tests {
                 abd.read(Pid(1), 1, key); // cross the crash tick
             }
             abd.read(Pid(1), 2, key); // a maintenance point past the crash
-            abd.replicas[2].get(&key).cloned()
+            abd.dir.get(&key).and_then(|kx| abd.replicas[2].get(*kx)).cloned()
         };
         assert_eq!(crash_then(Durability::Volatile), None, "volatile stores are wiped");
         assert!(crash_then(Durability::Durable).is_some(), "durable stores survive");
@@ -664,7 +871,139 @@ mod tests {
         // 2 ops × 2 phases × 3 replicas × request+reply = 24 messages.
         assert_eq!(obs.get(Counter::NetMsgsSent), 24);
         assert_eq!(obs.get(Counter::NetMsgsDelivered), 24);
+        // Unsharded traffic is attributed to replica group 0.
+        assert_eq!(obs.get(Counter::NetShard0Msgs), 24);
         let snap = obs.snapshot().unwrap();
         assert!(snap.hists.iter().any(|(n, b)| n == "quorum_latency" && !b.is_empty()));
+    }
+
+    #[test]
+    fn batched_same_pid_ops_coalesce_into_one_round() {
+        let obs = MetricsHandle::counters();
+        let mut cfg = NetConfig::new(4, 7);
+        cfg.batch_max = 4;
+        let mut abd = AbdBackend::new(cfg);
+        let (a, b) = (RegKey::new(0), RegKey::new(0).at(0, 1));
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, a, Value::Int(1));
+            assert_eq!(abd.read(Pid(0), 1, a), Value::Int(1));
+            abd.write(Pid(0), 2, b, Value::Int(2));
+            assert_eq!(abd.read(Pid(0), 3, b), Value::Int(2));
+        }
+        // 4 same-pid ops → exactly one flushed round of 2 phases over 4
+        // replicas (request+reply): 16 messages, versus 64 unbatched.
+        assert_eq!(obs.get(Counter::NetBatchedOps), 4);
+        assert_eq!(obs.get(Counter::NetBatchRounds), 1);
+        assert_eq!(obs.get(Counter::NetMsgsSent), 16);
+        assert_eq!(obs.get(Counter::NetQuorumReads), 2);
+        assert_eq!(obs.get(Counter::NetQuorumWrites), 2);
+        let snap = obs.snapshot().unwrap();
+        let (_, buckets) =
+            snap.hists.iter().find(|(n, _)| n == "net_batch_size").expect("batch size hist");
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 1, "one flush observed");
+        // The flush converged every replica to the view's values.
+        for key in [a, b] {
+            let (tag, val) = abd.collect_max(&[0, 1, 2, 3], abd.dir[&key]);
+            assert_eq!(val, abd.view().peek(key));
+            assert_eq!(tag.1, 0, "written back under the batching pid's tag");
+        }
+    }
+
+    #[test]
+    fn a_foreign_pid_flushes_the_buffered_batch() {
+        let obs = MetricsHandle::counters();
+        let mut cfg = NetConfig::new(3, 9);
+        cfg.batch_max = 16;
+        let mut abd = AbdBackend::new(cfg);
+        let key = RegKey::new(2);
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, key, Value::Int(5));
+            assert_eq!(abd.read(Pid(0), 1, key), Value::Int(5));
+            assert_eq!(obs.get(Counter::NetBatchRounds), 0, "buffer below batch_max");
+            // A different pid's op may not ride pid 0's round: the buffer
+            // flushes first, then pid 1's op starts a fresh batch.
+            assert_eq!(abd.read(Pid(1), 2, key), Value::Int(5));
+            assert_eq!(obs.get(Counter::NetBatchRounds), 1);
+            assert_eq!(abd.batch_ops, 1, "pid 1's op is buffered, not flushed");
+            assert_eq!(abd.batch_pid, 1);
+            // The tail flush is available for drivers that want exact
+            // counters at the end of a run.
+            abd.flush_batch();
+            assert_eq!(obs.get(Counter::NetBatchRounds), 2);
+            assert_eq!(abd.batch_ops, 0);
+        }
+        assert_eq!(obs.get(Counter::NetBatchedOps), 3);
+    }
+
+    #[test]
+    fn batched_backend_serves_shared_memory_semantics() {
+        // The mirror of `reads_see_the_latest_write_like_shared_memory`,
+        // with batching on and interleaved pids forcing eager flushes.
+        let mut cfg = NetConfig::new(5, 7);
+        cfg.batch_max = 8;
+        let mut abd = AbdBackend::new(cfg);
+        let mut shm = SharedMemory::new();
+        let keys = [RegKey::new(1), RegKey::new(1).at(0, 3), RegKey::new(2).at(1, 1)];
+        for i in 0..60u64 {
+            let key = keys[(i % 3) as usize];
+            if i % 4 == 0 {
+                let v = Value::Int(i as i64);
+                abd.write(Pid((i % 5) as usize), i, key, v.clone());
+                shm.write(key, v);
+            } else {
+                assert_eq!(abd.read(Pid((i % 5) as usize), i, key), shm.peek(key), "op {i}");
+            }
+        }
+        abd.flush_batch();
+        assert_eq!(abd.view().content_fingerprint(), shm.content_fingerprint());
+        // After the tail flush every replica majority holds the view value.
+        for key in keys {
+            let (_, val) = abd.collect_max(&[0, 1, 2, 3, 4], abd.dir[&key]);
+            assert_eq!(val, shm.peek(key));
+        }
+    }
+
+    #[test]
+    fn batched_quorum_loss_degrades_like_the_unbatched_path() {
+        let mut cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
+        cfg.batch_max = 2;
+        let mut abd = AbdBackend::new(cfg);
+        abd.write(Pid(0), 5, RegKey::new(0), Value::Int(1));
+        assert!(!abd.is_degraded(), "one op is below batch_max — no round yet");
+        abd.write(Pid(0), 6, RegKey::new(1), Value::Int(2));
+        assert!(abd.is_degraded(), "the flush hit the majority partition");
+        let raised = abd.drain_degradations();
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].op, "batch");
+        // Both batched writes were served from the view throughout.
+        assert_eq!(abd.read(Pid(0), 7, RegKey::new(0)), Value::Int(1));
+        assert_eq!(abd.read(Pid(0), 8, RegKey::new(1)), Value::Int(2));
+    }
+
+    #[test]
+    fn sharded_backend_routes_disjoint_groups() {
+        let obs = MetricsHandle::counters();
+        let map = ShardMap::new(2, 3);
+        let mut sharded = sharded_backend(&NetConfig::new(6, 11), &map);
+        let keys: Vec<RegKey> = (0..16u32).map(|a| RegKey::new(1).at(0, a)).collect();
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            for (i, key) in keys.iter().enumerate() {
+                sharded.write(Pid(0), i as u64, *key, Value::Int(i as i64));
+            }
+            for (i, key) in keys.iter().enumerate() {
+                assert_eq!(sharded.read(Pid(1), 99, *key), Value::Int(i as i64));
+            }
+        }
+        // Both groups carried traffic, attributed to their own counters,
+        // and the totals add up.
+        let (s0, s1) = (obs.get(Counter::NetShard0Msgs), obs.get(Counter::NetShard1Msgs));
+        assert!(s0 > 0 && s1 > 0, "a 16-key population reaches both groups");
+        assert_eq!(s0 + s1, obs.get(Counter::NetMsgsSent));
+        // Each op pays a 3-replica round (12 msgs/op), not a 6-replica one.
+        assert_eq!(obs.get(Counter::NetMsgsSent), 32 * 12);
     }
 }

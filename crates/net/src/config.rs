@@ -239,6 +239,14 @@ pub struct NetConfig {
     /// `net: quorum unreachable` report on quorum loss instead of raising a
     /// typed `QuorumLost` degradation. Kept for the panic-isolation path.
     pub legacy_panic: bool,
+    /// Maximum register ops coalesced into one batched quorum round
+    /// (`1`, the default, disables batching: the classic one-round-per-op
+    /// ABD protocol whose message counts E14 pins byte-for-byte).
+    pub batch_max: u64,
+    /// Which replica group this config drives when the register space is
+    /// sharded — attribution only (selects the `net_shard{N}_msgs` counter);
+    /// `0` for unsharded backends.
+    pub shard: usize,
     /// Timed network faults.
     pub faults: Vec<NetFault>,
 }
@@ -258,6 +266,8 @@ impl NetConfig {
             durability: Durability::Volatile,
             read_optimized: false,
             legacy_panic: false,
+            batch_max: 1,
+            shard: 0,
             faults: Vec::new(),
         }
     }
@@ -417,6 +427,8 @@ impl NetConfig {
             ("durability".into(), Json::Str(self.durability.name().into())),
             ("read_optimized".into(), Json::Bool(self.read_optimized)),
             ("legacy_panic".into(), Json::Bool(self.legacy_panic)),
+            ("batch_max".into(), Json::Num(self.batch_max)),
+            ("shard".into(), Json::Num(self.shard as u64)),
             ("faults".into(), Json::Arr(self.faults.iter().map(NetFault::to_json).collect())),
         ])
     }
@@ -450,8 +462,86 @@ impl NetConfig {
             },
             read_optimized: json.get("read_optimized").and_then(Json::bool).unwrap_or(false),
             legacy_panic: json.get("legacy_panic").and_then(Json::bool).unwrap_or(false),
+            // PR-5 artifacts predate batching/sharding; default them to the
+            // classic one-round-per-op unsharded protocol.
+            batch_max: json.get("batch_max").and_then(Json::num).unwrap_or(1).max(1),
+            shard: json.get("shard").and_then(Json::num).unwrap_or(0) as usize,
             faults,
         })
+    }
+}
+
+/// Partition of the register space across independent replica groups.
+///
+/// Each group is a complete, self-contained ABD cluster: its own
+/// `nodes_per_shard` replicas, its own majority quorum, its own channels,
+/// delay stream, and crash/recovery state. Keys route to groups by the pure
+/// `RegKey::shard_index` function in `wfa-kernel`, so a register's quorum
+/// cost depends on its group's size — not on the total replica count.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShardMap {
+    /// Number of independent replica groups.
+    pub shards: usize,
+    /// Replicas per group.
+    pub nodes_per_shard: usize,
+}
+
+impl ShardMap {
+    /// A map of `shards` groups of `nodes_per_shard` replicas each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(shards: usize, nodes_per_shard: usize) -> ShardMap {
+        assert!(shards > 0 && nodes_per_shard > 0, "shard map dimensions must be positive");
+        ShardMap { shards, nodes_per_shard }
+    }
+
+    /// Total replicas across all groups.
+    pub fn total_nodes(&self) -> usize {
+        self.shards * self.nodes_per_shard
+    }
+
+    /// The [`NetConfig`] driving group `shard`, derived from `base`.
+    ///
+    /// The group keeps `base`'s link timing, durability, batching knob, and
+    /// fault list (faults address group-local replica indices and are
+    /// replicated per group), but gets its own replica count and a
+    /// deterministically derived per-group seed so the groups' delay streams
+    /// are independent. Group 0's seed equals the base seed.
+    pub fn config_for(&self, base: &NetConfig, shard: usize) -> NetConfig {
+        let mut cfg = base.clone();
+        cfg.nodes = self.nodes_per_shard;
+        cfg.shard = shard;
+        cfg.seed = base.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        cfg
+    }
+
+    /// All per-group configs, in group order.
+    pub fn configs(&self, base: &NetConfig) -> Vec<NetConfig> {
+        (0..self.shards).map(|s| self.config_for(base, s)).collect()
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards".into(), Json::Num(self.shards as u64)),
+            ("nodes_per_shard".into(), Json::Num(self.nodes_per_shard as u64)),
+        ])
+    }
+
+    /// Parses a map encoded by [`ShardMap::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first shape mismatch.
+    pub fn from_json(json: &Json) -> Result<ShardMap, String> {
+        let num = |k: &str| json.get(k).and_then(Json::num).ok_or(format!("shard map lacks `{k}`"));
+        let (shards, nodes) = (num("shards")? as usize, num("nodes_per_shard")? as usize);
+        if shards == 0 || nodes == 0 {
+            return Err("shard map dimensions must be positive".into());
+        }
+        Ok(ShardMap { shards, nodes_per_shard: nodes })
     }
 }
 
@@ -469,8 +559,41 @@ mod tests {
             .with_fault(NetFault::RecoverReplica { at: 33, node: 2 });
         cfg.durability = Durability::Durable;
         cfg.read_optimized = true;
+        cfg.batch_max = 16;
+        cfg.shard = 2;
         let back = NetConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn pr5_configs_parse_with_defaulted_batching_fields() {
+        // An artifact written before the batching/sharding fields existed.
+        let legacy = r#"{"nodes":3,"seed":7,"fifo":true,"min_delay":1,"max_delay":4,
+                         "drop_every":0,"dup_every":0,"max_rounds":3,"faults":[]}"#;
+        let cfg = NetConfig::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(cfg.batch_max, 1, "legacy configs run the classic unbatched protocol");
+        assert_eq!(cfg.shard, 0);
+    }
+
+    #[test]
+    fn shard_map_derives_independent_group_configs() {
+        let map = ShardMap::new(4, 3);
+        assert_eq!(map.total_nodes(), 12);
+        let base = NetConfig::new(12, 42);
+        let cfgs = map.configs(&base);
+        assert_eq!(cfgs.len(), 4);
+        for (i, cfg) in cfgs.iter().enumerate() {
+            assert_eq!(cfg.nodes, 3, "each group is its own 3-replica cluster");
+            assert_eq!(cfg.shard, i);
+            assert_eq!(cfg.quorum(), 2, "quorum is group-local, not cluster-wide");
+        }
+        assert_eq!(cfgs[0].seed, base.seed, "group 0 keeps the base delay stream");
+        let seeds: std::collections::BTreeSet<u64> = cfgs.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 4, "group delay streams are independent");
+        let back = ShardMap::from_json(&Json::parse(&map.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, map);
+        assert!(ShardMap::from_json(&Json::parse(r#"{"shards":0,"nodes_per_shard":3}"#).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -166,6 +166,7 @@ impl NetRuntime {
     fn transmit(&mut self, node: usize, dir: Dir, sent: u64) -> Option<u64> {
         self.msgs += 1;
         obs_local::bump(Counter::NetMsgsSent);
+        obs_local::bump(Counter::shard_msgs(self.cfg.shard));
         let periodic_drop = self.cfg.drop_every > 0 && self.msgs.is_multiple_of(self.cfg.drop_every);
         if periodic_drop || self.lossy(node, sent) {
             obs_local::bump(Counter::NetMsgsDropped);
@@ -330,6 +331,7 @@ impl NetRuntime {
     fn transmit_sync(&mut self, puller: usize, peer: usize, reply: bool, sent: u64) -> Option<u64> {
         self.msgs += 1;
         obs_local::bump(Counter::NetMsgsSent);
+        obs_local::bump(Counter::shard_msgs(self.cfg.shard));
         obs_local::bump(Counter::NetResyncMsgs);
         let periodic_drop = self.cfg.drop_every > 0 && self.msgs.is_multiple_of(self.cfg.drop_every);
         if periodic_drop || self.lossy(puller, sent) || self.lossy(peer, sent) {

@@ -107,10 +107,24 @@ pub enum Counter {
     /// Quorum operations that exhausted their retransmission horizon and
     /// degraded to the linearized local view.
     NetQuorumLost,
+    /// Register operations absorbed into a batch buffer instead of paying
+    /// their own quorum round (batched ABD, `batch_max > 1`).
+    NetBatchedOps,
+    /// Batched quorum rounds flushed (each covers one or more register ops).
+    NetBatchRounds,
+    /// Messages sent by replica group (shard) 0 — subset of `net_msgs_sent`.
+    NetShard0Msgs,
+    /// Messages sent by replica group (shard) 1.
+    NetShard1Msgs,
+    /// Messages sent by replica group (shard) 2.
+    NetShard2Msgs,
+    /// Messages sent by replica group (shard) 3 — groups beyond the fourth
+    /// fold into this counter.
+    NetShard3Msgs,
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 35] = [
+pub const COUNTERS: [Counter; 41] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -146,6 +160,12 @@ pub const COUNTERS: [Counter; 35] = [
     Counter::NetResyncMsgs,
     Counter::NetReadbackSkips,
     Counter::NetQuorumLost,
+    Counter::NetBatchedOps,
+    Counter::NetBatchRounds,
+    Counter::NetShard0Msgs,
+    Counter::NetShard1Msgs,
+    Counter::NetShard2Msgs,
+    Counter::NetShard3Msgs,
 ];
 
 impl Counter {
@@ -187,12 +207,29 @@ impl Counter {
             Counter::NetResyncMsgs => "net_resync_msgs",
             Counter::NetReadbackSkips => "net_readback_skips",
             Counter::NetQuorumLost => "net_quorum_lost",
+            Counter::NetBatchedOps => "net_batched_ops",
+            Counter::NetBatchRounds => "net_batch_rounds",
+            Counter::NetShard0Msgs => "net_shard0_msgs",
+            Counter::NetShard1Msgs => "net_shard1_msgs",
+            Counter::NetShard2Msgs => "net_shard2_msgs",
+            Counter::NetShard3Msgs => "net_shard3_msgs",
         }
     }
 
     /// `true` iff the counter is thread-count invariant (canonical).
     pub fn deterministic(&self) -> bool {
         !matches!(self, Counter::ExplorerSteals)
+    }
+
+    /// The per-shard message counter for replica group `shard`; groups
+    /// beyond the fourth fold into `net_shard3_msgs`.
+    pub fn shard_msgs(shard: usize) -> Counter {
+        match shard {
+            0 => Counter::NetShard0Msgs,
+            1 => Counter::NetShard1Msgs,
+            2 => Counter::NetShard2Msgs,
+            _ => Counter::NetShard3Msgs,
+        }
     }
 
     fn index(&self) -> usize {
@@ -211,10 +248,13 @@ pub enum HistKind {
     /// Simulated-network latency (delivery time minus send time) of each
     /// completed quorum operation.
     QuorumLatency,
+    /// Number of register ops carried by each flushed batched quorum round.
+    NetBatchSize,
 }
 
 /// All histograms, in canonical export order.
-pub const HISTS: [HistKind; 3] = [HistKind::PlanCost, HistKind::ShardDepth, HistKind::QuorumLatency];
+pub const HISTS: [HistKind; 4] =
+    [HistKind::PlanCost, HistKind::ShardDepth, HistKind::QuorumLatency, HistKind::NetBatchSize];
 
 /// Buckets per histogram: bucket `i` holds values whose bit length is `i`
 /// (bucket 0 is exactly the value 0), so the largest `u64` lands in 64.
@@ -227,6 +267,7 @@ impl HistKind {
             HistKind::PlanCost => "plan_cost",
             HistKind::ShardDepth => "shard_depth",
             HistKind::QuorumLatency => "quorum_latency",
+            HistKind::NetBatchSize => "net_batch_size",
         }
     }
 
