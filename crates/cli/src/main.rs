@@ -403,18 +403,22 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
 
     const FAULTS_USAGE: &str = "USAGE: wfa-cli faults <sweep|replay|list>\n\
          \n\
-         faults sweep  --scenario NAME [--depth D --seeds S --seed B --threads T --out FILE]\n\
+         faults sweep  --scenario NAME [--depth D --seeds S --seed B --threads T\n\
+         \t\t--no-prune --plan-budget N --out FILE]\n\
          \n\
          \tEnumerates every fault plan of ≤ D components (bounded DFS over\n\
          \tcrash points, starvation stops, FD sample corruption, advice\n\
          \tdelays and — for net-backed scenarios — majority-safe replica\n\
-         \tpartitions, drop windows, heals and crash/recover pairs inside\n\
-         \tthe recovery horizon), evaluates S seeds per plan with panic\n\
-         \tisolation, shrinks the violations and prints them. Majority-safe\n\
-         \tplans that still lose a quorum surface as typed `quorum-lost`\n\
-         \tviolations. --out writes the canonical report JSON\n\
-         \t(byte-identical for every --threads value). Exits non-zero\n\
-         \tif violations were found.\n\
+         \tpartitions, drop windows, corruption windows, heals and\n\
+         \tcrash/recover pairs inside the recovery horizon), evaluates S\n\
+         \tseeds per plan with panic isolation, shrinks the violations and\n\
+         \tprints them. Majority-safe plans that still lose a quorum\n\
+         \tsurface as typed `quorum-lost` violations. Plans dominated by a\n\
+         \tsurviving superset (extras all pure message loss) are pruned —\n\
+         \t--no-prune force-runs every plan; --plan-budget N caps the plans\n\
+         \tevaluated (deterministic truncation). --out writes the canonical\n\
+         \treport JSON (byte-identical for every --threads value). Exits\n\
+         \tnon-zero if violations were found.\n\
          \n\
          faults replay <violation.json>\n\
          \n\
@@ -436,6 +440,8 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
             if threads > 0 {
                 config.threads = Some(threads);
             }
+            config.prune = !args.get("no-prune", false)?;
+            config.plan_budget = args.get("plan-budget", 0)?;
             if Scenario::by_name(&config.scenario).is_none() {
                 return Err(format!(
                     "unknown scenario `{}` (try: {})",
@@ -445,9 +451,11 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
             }
             let report = sweep(&config);
             println!(
-                "[{}] {} plans, {} runs ({} worker threads): {} violation(s)",
+                "[{}] {} plans ({} pruned, {} run), {} runs ({} worker threads): {} violation(s)",
                 report.scenario,
                 report.plans,
+                report.plans_pruned,
+                report.plans_run,
                 report.runs,
                 config.resolved_threads(),
                 report.violations.len()

@@ -177,6 +177,16 @@ impl FaultPlan {
         self
     }
 
+    /// Corrupts all traffic to/from replica `node` during `at..until`; the
+    /// checksum layer detects and quarantines the damaged messages, so the
+    /// window behaves like a drop window at the protocol level (quorum ops
+    /// retransmit past it) without ever delivering a corrupted payload.
+    pub fn corrupt_link(mut self, node: usize, at: u64, until: u64) -> FaultPlan {
+        assert!(until > at, "corruption window must be non-empty");
+        self.net_faults.push(NetFault::CorruptMessage { at, until, node });
+        self
+    }
+
     /// Crashes replica `node` at network tick `at` (volatile stores are
     /// wiped; the replica's links go dark like a partition of one).
     pub fn crash_replica(mut self, node: usize, at: u64) -> FaultPlan {
@@ -360,11 +370,15 @@ mod tests {
 
     #[test]
     fn net_faults_roundtrip_and_describe() {
-        let p = FaultPlan::clean().partition(vec![0, 2], 9).heal(30).drop_link(1, 2, 8);
+        let p = FaultPlan::clean()
+            .partition(vec![0, 2], 9)
+            .heal(30)
+            .drop_link(1, 2, 8)
+            .corrupt_link(0, 4, 12);
         assert!(!p.is_clean());
         assert_eq!(p, FaultPlan::from_json(&p.to_json()).unwrap());
         let d = p.describe();
-        for needle in ["partition(0+2@9)", "heal(@30)", "drop(1@2..8)"] {
+        for needle in ["partition(0+2@9)", "heal(@30)", "drop(1@2..8)", "corrupt(0@4..12)"] {
             assert!(d.contains(needle), "{d} missing {needle}");
         }
         // Artifacts written before the net backend existed parse to no
@@ -374,6 +388,19 @@ mod tests {
             fields.retain(|(k, _)| k != "net_faults");
         }
         assert_eq!(FaultPlan::from_json(&old).unwrap().net_faults, Vec::new());
+    }
+
+    #[test]
+    fn unknown_net_fault_variants_fail_plan_parsing() {
+        // A plan artifact from a newer version must refuse to parse rather
+        // than silently replay with the unrecognized fault dropped.
+        let mut j = FaultPlan::clean().drop_link(1, 2, 8).to_json();
+        let text = j.to_string().replace("\"drop\"", "\"gamma-ray\"");
+        j = Json::parse(&text).unwrap();
+        let err = FaultPlan::from_json(&j).unwrap_err();
+        for needle in ["unknown net fault type `gamma-ray`", "newer version", "refusing"] {
+            assert!(err.contains(needle), "{err} missing {needle}");
+        }
     }
 
     #[test]

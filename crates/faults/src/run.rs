@@ -17,8 +17,8 @@ use wfa_core::harness::{EfdRun, RunReport};
 use wfa_fd::pattern::FailurePattern;
 use wfa_kernel::sched::{Record, Replay, Starve};
 use wfa_kernel::value::Pid;
-use wfa_net::abd::AbdBackend;
-use wfa_net::config::NetConfig;
+use wfa_net::abd::{sharded_backend, AbdBackend};
+use wfa_net::config::{NetConfig, ShardMap};
 use wfa_obs::metrics::{HistKind, MetricsHandle};
 
 use crate::fdwrap::FaultyFdGen;
@@ -80,7 +80,15 @@ pub fn build_run(
         cfg.faults = plan.net_faults.clone();
         cfg.fifo = sc.net_fifo;
         cfg.batch_max = sc.net_batch;
-        run = run.with_backend(Box::new(AbdBackend::new(cfg)));
+        cfg.corrupt_every = sc.net_corrupt;
+        if sc.net_shards > 1 {
+            // One independent ABD cluster per replica group; keys route by
+            // `RegKey::shard_index` and faults replicate per group.
+            let map = ShardMap::new(sc.net_shards, sc.net_nodes);
+            run = run.with_backend(Box::new(sharded_backend(&cfg, &map)));
+        } else {
+            run = run.with_backend(Box::new(AbdBackend::new(cfg)));
+        }
     }
     (run, input)
 }
@@ -152,6 +160,7 @@ pub fn run_plan_observed(
             tick: d.tick,
             answered: d.answered,
             needed: d.needed,
+            shard: d.shard,
         }));
     }
     if let Err(e) = report.validate() {
@@ -235,7 +244,7 @@ pub fn replay(v: &Violation) -> Result<ReplayVerdict, String> {
         ViolationKind::QuorumLost { op, tick, .. } => {
             let outcome = run_plan(&sc, &v.plan, v.seed);
             let hit = outcome.violations.iter().find_map(|w| match &w.kind {
-                ViolationKind::QuorumLost { op: o, tick: t, answered, needed }
+                ViolationKind::QuorumLost { op: o, tick: t, answered, needed, .. }
                     if o == op && t == tick =>
                 {
                     Some((*answered, *needed))
@@ -415,6 +424,102 @@ mod tests {
                 assert_eq!(safety(&a), safety(&b), "{}", plan.describe());
             }
         }
+    }
+
+    #[test]
+    fn corrupted_scenario_reproduces_clean_outcomes() {
+        // Corruption plus quarantine is a message-economy change only: with
+        // every damaged message detected, dropped before delivery and later
+        // retransmitted, `ksa-net-corrupt` must decide the same values on
+        // the same schedules as `ksa-net` for every plan and seed — the
+        // linearized decisions are provably unaffected by corruption.
+        let plain = Scenario::ksa_net();
+        let corrupt = Scenario::ksa_net_corrupt();
+        assert_eq!(corrupt.net_corrupt, 5);
+        for plan in [
+            FaultPlan::clean(),
+            FaultPlan::clean().corrupt_link(1, 0, plain.stab),
+            FaultPlan::clean().drop_link(0, 0, plain.stab),
+        ] {
+            for seed in [3, 9] {
+                let a = run_plan(&plain, &plan, seed);
+                let b = run_plan(&corrupt, &plan, seed);
+                assert_eq!(a.report.output, b.report.output, "{}", plan.describe());
+                assert_eq!(a.schedule, b.schedule, "{}", plan.describe());
+                // Safety and wait-freedom verdicts are identical; quorum
+                // loss is monotone in message loss — the periodic knob can
+                // push a plan-marginal quorum past the horizon (an *extra*
+                // degradation) but can never make one disappear.
+                let lost = |o: &PlanOutcome| {
+                    o.violations
+                        .iter()
+                        .any(|v| matches!(v.kind, ViolationKind::QuorumLost { .. }))
+                };
+                if lost(&a) {
+                    assert!(lost(&b), "{}", plan.describe());
+                }
+                let rest = |o: &PlanOutcome| {
+                    o.violations
+                        .iter()
+                        .filter(|v| !matches!(v.kind, ViolationKind::QuorumLost { .. }))
+                        .map(|v| v.kind.clone())
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(rest(&a), rest(&b), "{}", plan.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_window_plans_stay_clean_over_the_net() {
+        // A corruption window behaves like a drop window at the protocol
+        // level: majority-safe, quorum ops retransmit past it, no
+        // violations, same decisions as shm.
+        let sc = Scenario::ksa_net();
+        let plan = FaultPlan::clean().corrupt_link(0, 0, sc.stab);
+        let net = run_plan(&sc, &plan, 9);
+        assert!(
+            net.violations.is_empty(),
+            "{:?}",
+            net.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        let shm = run_plan(&Scenario::ksa(), &FaultPlan::clean(), 9);
+        assert_eq!(shm.report.output, net.report.output);
+        assert_eq!(shm.schedule, net.schedule);
+    }
+
+    #[test]
+    fn sharded_scenario_decides_like_shm() {
+        let shm = run_plan(&Scenario::ksa(), &FaultPlan::clean(), 9);
+        let sharded = run_plan(&Scenario::ksa_net_shard(), &FaultPlan::clean(), 9);
+        assert!(sharded.violations.is_empty());
+        assert_eq!(shm.report.output, sharded.report.output);
+        assert_eq!(shm.schedule, sharded.schedule);
+    }
+
+    #[test]
+    fn sharded_quorum_loss_carries_the_group_tag_and_replays() {
+        // Plan faults replicate per group, so a majority-breaking partition
+        // strands whichever group the first stranded op routes to; the
+        // violation names that group and the artifact round-trips + replays.
+        let sc = Scenario::ksa_net_shard();
+        let plan = FaultPlan::clean().partition(vec![0, 1], 0);
+        let outcome = run_plan(&sc, &plan, 3);
+        let v = outcome
+            .violations
+            .iter()
+            .find(|w| matches!(w.kind, ViolationKind::QuorumLost { .. }))
+            .expect("quorum ops must degrade under a majority-breaking partition")
+            .clone();
+        let ViolationKind::QuorumLost { shard, .. } = &v.kind else {
+            unreachable!();
+        };
+        assert!(*shard < sc.net_shards, "shard tag {shard} out of range");
+        let text = v.to_json().to_string();
+        let parsed = Violation::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let verdict = replay(&parsed).unwrap();
+        assert!(verdict.reproduced, "{}", verdict.detail);
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //!   sensitive to advice delay and sample corruption.
 //! * `ksa-net` — the same experiment over the ABD quorum-replicated register
 //!   backend (3 replicas): the scenario network fault plans run against.
+//! * `ksa-net-corrupt` — `ksa-net` with periodic message corruption: every
+//!   5th message arrives damaged, is caught by the checksum layer and
+//!   quarantined, and retransmission recovers — decisions are identical to
+//!   `ksa-net`.
 //! * `ksa-net-reorder` — `ksa-net` with non-FIFO channels: messages overtake
 //!   freely, probing the protocol's reordering tolerance.
+//! * `ksa-net-shard` — `ksa-net` with the register space sharded over two
+//!   independent 3-replica groups: quorum loss degrades per group, not
+//!   globally.
 //! * `renaming` — Figure-4 renaming under the (j, 2j−1) bound.
 //! * `wait-for-all` — a deliberately non-wait-free adopt-commit variant that
 //!   blocks until every proposal is published: the fixture that gives the
@@ -73,6 +80,18 @@ pub struct Scenario {
     /// memory). Batching never changes slots or decisions, so swept plans
     /// produce the same violations — only the message economy differs.
     pub net_batch: u64,
+    /// Periodic message-corruption knob for the net backend
+    /// (`NetConfig::corrupt_every`): every `net_corrupt`-th message arrives
+    /// with a damaged payload, is caught by the checksum layer and
+    /// quarantined. `0` disables it. Quarantine plus retransmission means
+    /// decisions are identical to the corruption-free run — only the
+    /// message economy differs.
+    pub net_corrupt: u64,
+    /// Replica-group count for the net backend: values above `1` shard the
+    /// register space over that many independent `net_nodes`-replica ABD
+    /// clusters (quorum loss in one group degrades only that group's key
+    /// range). `1` runs the single-cluster backend.
+    pub net_shards: usize,
     /// The Δ to validate against.
     pub task: Arc<dyn Task>,
     /// Builds the (honest) detector for a failure pattern.
@@ -102,7 +121,9 @@ impl Scenario {
             "ksa" => Some(Scenario::ksa()),
             "ksa-net" => Some(Scenario::ksa_net()),
             "ksa-net-batch" => Some(Scenario::ksa_net_batch()),
+            "ksa-net-corrupt" => Some(Scenario::ksa_net_corrupt()),
             "ksa-net-reorder" => Some(Scenario::ksa_net_reorder()),
+            "ksa-net-shard" => Some(Scenario::ksa_net_shard()),
             "renaming" => Some(Scenario::renaming()),
             "wait-for-all" => Some(Scenario::wait_for_all()),
             _ => None,
@@ -117,7 +138,9 @@ impl Scenario {
             "ksa",
             "ksa-net",
             "ksa-net-batch",
+            "ksa-net-corrupt",
             "ksa-net-reorder",
+            "ksa-net-shard",
             "renaming",
             "wait-for-all",
         ]
@@ -134,6 +157,8 @@ impl Scenario {
             net_nodes: 0,
             net_fifo: true,
             net_batch: 1,
+            net_corrupt: 0,
+            net_shards: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: false }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -165,6 +190,8 @@ impl Scenario {
             net_nodes: 0,
             net_fifo: true,
             net_batch: 1,
+            net_corrupt: 0,
+            net_shards: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -195,6 +222,8 @@ impl Scenario {
             net_nodes: 0,
             net_fifo: true,
             net_batch: 1,
+            net_corrupt: 0,
+            net_shards: 1,
             task: Arc::new(SetAgreement::new(n, k as usize)),
             mk_fd: Arc::new(move |p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -252,6 +281,33 @@ impl Scenario {
         sc
     }
 
+    /// [`Scenario::ksa_net`] with periodic message corruption
+    /// (`corrupt_every = 5`): every 5th arriving message carries a damaged
+    /// payload, which the checksum layer detects and quarantines; the
+    /// stalled quorum round retransmits past it. Decisions and slots are
+    /// identical to `ksa-net` for every plan (the fixture that keeps the
+    /// sweep honest about the quarantine path's equivalence guarantee);
+    /// quorum-op degradations may *additionally* appear when a plan's own
+    /// faults leave the quorum marginal — quarantine is message loss, and
+    /// loss composes.
+    pub fn ksa_net_corrupt() -> Scenario {
+        let mut sc = Scenario::ksa_net();
+        sc.name = "ksa-net-corrupt".into();
+        sc.net_corrupt = 5;
+        sc
+    }
+
+    /// [`Scenario::ksa_net`] with the register space sharded over two
+    /// independent 3-replica groups. Keys route by `RegKey::shard_index`;
+    /// each group runs its own quorum, so degradations are group-local and
+    /// the resulting `QuorumLost` violations carry the group's shard tag.
+    pub fn ksa_net_shard() -> Scenario {
+        let mut sc = Scenario::ksa_net();
+        sc.name = "ksa-net-shard".into();
+        sc.net_shards = 2;
+        sc
+    }
+
     /// The deliberately non-wait-free adopt-commit variant: guaranteed
     /// discoverable wait-freedom violations (stop any party and everyone
     /// else blocks on its unpublished proposal).
@@ -265,6 +321,8 @@ impl Scenario {
             net_nodes: 0,
             net_fifo: true,
             net_batch: 1,
+            net_corrupt: 0,
+            net_shards: 1,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -295,6 +353,8 @@ impl Scenario {
             net_nodes: 0,
             net_fifo: true,
             net_batch: 1,
+            net_corrupt: 0,
+            net_shards: 1,
             task: Arc::new(Renaming::new(m, j, 2 * j - 1)),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {

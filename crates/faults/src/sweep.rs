@@ -45,6 +45,35 @@ enum Component {
     /// Crash replicas 0 and 1 at `.0`, recover both at `.1`: a majority
     /// blip the retransmission+re-sync machinery must absorb.
     NetBlip(u64, u64),
+    /// Corrupt all traffic to/from one replica during a window; the
+    /// checksum layer quarantines the damage, so this is a loss window the
+    /// retransmission machinery recovers from.
+    NetCorrupt(usize, u64, u64),
+}
+
+impl Component {
+    /// `true` for components whose *only* effect is message loss over the
+    /// net backend: drops, corruption windows (quarantine = loss),
+    /// partitions without heals, and creditable crash/recover pairs.
+    ///
+    /// These are the components dominance pruning may treat as monotone:
+    /// the net backend never changes a decision (degraded ops serve the
+    /// linearized view), so adding pure loss can only *add* violations —
+    /// if a superset plan survived cleanly, the subset cannot newly
+    /// violate. Mitigating components ([`Component::Clear`],
+    /// [`Component::NetHeal`]) and process/FD faults (which change the run
+    /// itself) are excluded: a plan differing by one of those is never
+    /// used to prune.
+    fn is_monotone_loss(&self) -> bool {
+        matches!(
+            self,
+            Component::NetDrop(..)
+                | Component::NetCorrupt(..)
+                | Component::NetPartition(..)
+                | Component::NetCrashRecover(..)
+                | Component::NetBlip(..)
+        )
+    }
 }
 
 /// Bounded-DFS enumeration of fault plans for one scenario.
@@ -94,6 +123,7 @@ impl PlanSearch {
             for node in 0..sc.net_nodes {
                 components.push(Component::NetPartition(node, sc.stab));
                 components.push(Component::NetDrop(node, 0, sc.stab));
+                components.push(Component::NetCorrupt(node, 0, sc.stab));
                 components.push(Component::NetCrashRecover(node, sc.stab, sc.stab + rh));
             }
             components.push(Component::NetHeal(2 * sc.stab));
@@ -106,20 +136,26 @@ impl PlanSearch {
 
     /// Every valid plan with at most `depth` components (clean plan first).
     pub fn plans(&self) -> Vec<FaultPlan> {
-        let mut out = vec![FaultPlan::clean()];
+        self.plans_with_combos().into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// [`PlanSearch::plans`] plus each plan's component combination (menu
+    /// indices) — what dominance pruning compares as a set.
+    pub fn plans_with_combos(&self) -> Vec<(FaultPlan, Vec<usize>)> {
+        let mut out = vec![(FaultPlan::clean(), Vec::new())];
         let mut combo = Vec::new();
         self.dfs(0, &mut combo, &mut out);
         out
     }
 
-    fn dfs(&self, from: usize, combo: &mut Vec<usize>, out: &mut Vec<FaultPlan>) {
+    fn dfs(&self, from: usize, combo: &mut Vec<usize>, out: &mut Vec<(FaultPlan, Vec<usize>)>) {
         if combo.len() >= self.depth {
             return;
         }
         for idx in from..self.components.len() {
             combo.push(idx);
             if let Some(plan) = self.build(combo) {
-                out.push(plan);
+                out.push((plan, combo.clone()));
                 self.dfs(idx + 1, combo, out);
             }
             combo.pop();
@@ -190,6 +226,14 @@ impl PlanSearch {
                     }
                     plan = plan.drop_link(*node, *at, *until);
                 }
+                Component::NetCorrupt(node, at, until) => {
+                    if plan.net_faults.iter().any(
+                        |f| matches!(f, wfa_net::config::NetFault::CorruptMessage { node: c, .. } if c == node),
+                    ) {
+                        return None;
+                    }
+                    plan = plan.corrupt_link(*node, *at, *until);
+                }
                 Component::NetHeal(t) => {
                     let has_partition = plan
                         .net_faults
@@ -255,6 +299,16 @@ pub struct SweepConfig {
     pub shrink: bool,
     /// Worker threads; `None` reads `WFA_THREADS` (default 1).
     pub threads: Option<usize>,
+    /// Dominance-prune the plan space: a plan whose component set is a
+    /// subset of a *surviving* (zero-violation) plan's, where every extra
+    /// component is pure message loss, is skipped — it cannot newly
+    /// violate. Pruning never changes the violation list, only which clean
+    /// runs are spared; disable it to force-run every plan.
+    pub prune: bool,
+    /// Hard cap on plans evaluated (`0`: unlimited). Enumeration order is
+    /// deterministic, so the truncation is too; everything past the budget
+    /// is counted in [`SweepReport::plans_pruned`].
+    pub plan_budget: usize,
 }
 
 impl SweepConfig {
@@ -267,6 +321,8 @@ impl SweepConfig {
             base_seed: 1,
             shrink: true,
             threads: None,
+            prune: true,
+            plan_budget: 0,
         }
     }
 
@@ -284,9 +340,14 @@ impl SweepConfig {
 pub struct SweepReport {
     /// The swept scenario.
     pub scenario: String,
-    /// Plans enumerated by the search.
+    /// Plans enumerated by the search (before dedup, budget, or pruning).
     pub plans: usize,
-    /// `(plan, seed)` jobs evaluated.
+    /// Plans *not* evaluated: dominance-pruned, deduplicated, or past the
+    /// plan budget. Always `plans - plans_run`.
+    pub plans_pruned: usize,
+    /// Plans actually evaluated.
+    pub plans_run: usize,
+    /// `(plan, seed)` jobs evaluated (`plans_run × seeds_per_plan`).
     pub runs: usize,
     /// All violations, in job order (shrunk if configured); panics appear
     /// here as [`ViolationKind::Panic`] entries.
@@ -311,6 +372,8 @@ impl SweepReport {
         Json::Obj(vec![
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("plans".into(), Json::Num(self.plans as u64)),
+            ("plans_pruned".into(), Json::Num(self.plans_pruned as u64)),
+            ("plans_run".into(), Json::Num(self.plans_run as u64)),
             ("runs".into(), Json::Num(self.runs as u64)),
             (
                 "violations".into(),
@@ -320,7 +383,10 @@ impl SweepReport {
     }
 }
 
-/// The seed for job `idx` of a sweep (the ensemble derivation, reused).
+/// The seed for seed-slot `idx` of a sweep (the ensemble derivation,
+/// reused). Every plan is evaluated on the *same* seed set — slot `s` maps
+/// to the same seed under every plan, which is what makes subset-dominance
+/// comparisons between plans sound (same inputs, same base schedule).
 pub fn job_seed(base: u64, idx: usize) -> u64 {
     base.wrapping_mul(1_000_003).wrapping_add(idx as u64)
 }
@@ -336,38 +402,151 @@ pub fn job_seed(base: u64, idx: usize) -> u64 {
 pub fn sweep(config: &SweepConfig) -> SweepReport {
     let sc = Scenario::by_name(&config.scenario)
         .unwrap_or_else(|| panic!("unknown scenario `{}`", config.scenario));
-    let plans = PlanSearch::for_scenario(&sc, config.depth).plans();
-    let jobs: Vec<(usize, &FaultPlan, u64)> = plans
+    let search = PlanSearch::for_scenario(&sc, config.depth);
+    let enumerated = search.plans_with_combos();
+    let generated = enumerated.len();
+
+    // Plan-level dedup: distinct combinations that assemble an identical
+    // fault plan would evaluate identical runs; keep the first occurrence.
+    let mut seen = std::collections::HashSet::new();
+    let mut plans: Vec<(FaultPlan, Vec<usize>)> = Vec::new();
+    for (plan, combo) in enumerated {
+        if seen.insert(plan.describe()) {
+            plans.push((plan, combo));
+        }
+    }
+    // Plan budget: a deterministic truncation in enumeration order bounds
+    // the sweep's cost; everything past the cap counts as pruned.
+    if config.plan_budget > 0 && plans.len() > config.plan_budget {
+        plans.truncate(config.plan_budget);
+    }
+
+    // Dominance pruning works on u128 combination masks, so the subset
+    // tests are O(1); a menu wider than 128 components (none is — the
+    // widest canonical menu is ~35) would overflow the mask, in which case
+    // pruning is skipped (correctness never depends on it).
+    let maskable = search.components.len() <= 128;
+    let mask_of = |combo: &[usize]| combo.iter().fold(0u128, |m, i| m | (1u128 << *i));
+    let monotone: u128 = search
+        .components
         .iter()
         .enumerate()
-        .flat_map(|(pi, plan)| {
-            (0..config.seeds_per_plan)
-                .map(move |s| (pi, plan, s))
-                .collect::<Vec<_>>()
-        })
-        .enumerate()
-        .map(|(idx, (_pi, plan, _s))| (idx, plan, job_seed(config.base_seed, idx)))
-        .collect();
+        .filter(|(_, c)| c.is_monotone_loss())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
 
-    // What a finished job deposits in its index slot: the violations it
-    // found plus its private registry's snapshot.
-    type JobResult = (Vec<Violation>, Snapshot);
+    // Execute in waves of descending combination size: every potential
+    // dominator (a strict superset) finishes in an earlier wave, so by the
+    // time a plan is considered its dominators' verdicts are all in.
+    // Equal-size sets cannot dominate each other (a subset of equal
+    // cardinality is equal), so the barrier between waves is the only
+    // ordering pruning needs — and it is thread-count independent.
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|i| std::cmp::Reverse(plans[*i].1.len()));
+
+    let seeds = config.seeds_per_plan as usize;
+    let slots: Mutex<Vec<JobSlot>> = Mutex::new(vec![None; plans.len() * seeds]);
+    let mut clean_masks: Vec<u128> = Vec::new();
+    let mut plans_run = 0usize;
+
+    let mut w = 0;
+    while w < order.len() {
+        let size = plans[order[w]].1.len();
+        let mut runnable = Vec::new();
+        while w < order.len() && plans[order[w]].1.len() == size {
+            let pi = order[w];
+            w += 1;
+            let qm = mask_of(&plans[pi].1);
+            // Prune iff some surviving plan's set is a superset whose
+            // extras are all pure-loss components: the subset plan cannot
+            // newly violate. The pruned plan's own mask joins the clean
+            // set — its cleanliness is implied, so it dominates onward.
+            let dominated = config.prune
+                && maskable
+                && clean_masks.iter().any(|pm| qm & !pm == 0 && (pm & !qm) & !monotone == 0);
+            if dominated {
+                clean_masks.push(qm);
+            } else {
+                runnable.push(pi);
+            }
+        }
+        plans_run += runnable.len();
+        let jobs: Vec<(usize, usize)> =
+            runnable.iter().flat_map(|pi| (0..seeds).map(move |s| (*pi, s))).collect();
+        run_wave(&sc, config, &plans, &jobs, &slots);
+        // Harvest the wave's verdicts before the next (smaller) wave is
+        // admitted: a plan survives iff every seed produced zero
+        // violations (a panic counts — it is one in the report).
+        if maskable {
+            let held = slots.lock().expect("slot lock");
+            for pi in runnable {
+                let clean = (0..seeds)
+                    .all(|s| held[pi * seeds + s].as_ref().is_some_and(|(vs, _)| vs.is_empty()));
+                if clean {
+                    clean_masks.push(mask_of(&plans[pi].1));
+                }
+            }
+        }
+    }
+
+    // Violations and metrics assemble in enumeration order (plan index ×
+    // seed slot), not wave order — the report stays byte-identical no
+    // matter how the waves interleaved across workers.
+    let mut metrics = Snapshot::default();
+    let mut violations = Vec::new();
+    let mut runs = 0;
+    for (vs, snap) in slots.into_inner().expect("slot lock").into_iter().flatten() {
+        runs += 1;
+        violations.extend(vs);
+        metrics.merge(&snap);
+    }
+    let sweep_obs = MetricsHandle::counters();
+    sweep_obs.add(Counter::SweepPlansGenerated, generated as u64);
+    sweep_obs.add(Counter::SweepPlansPruned, (generated - plans_run) as u64);
+    sweep_obs.add(Counter::SweepPlansRun, plans_run as u64);
+    metrics.merge(&sweep_obs.snapshot().expect("sweep registry is enabled"));
+    SweepReport {
+        scenario: sc.name,
+        plans: generated,
+        plans_pruned: generated - plans_run,
+        plans_run,
+        runs,
+        violations,
+        metrics,
+    }
+}
+
+/// One enumeration-order result slot: a job's violations and metrics
+/// snapshot, `None` until (or unless — pruned plans never run) it fills.
+type JobSlot = Option<(Vec<Violation>, Snapshot)>;
+
+/// Evaluates one wave's `(plan index, seed slot)` jobs on the worker pool,
+/// depositing each job's violations and metrics snapshot into its
+/// enumeration-order slot.
+fn run_wave(
+    sc: &Scenario,
+    config: &SweepConfig,
+    plans: &[(FaultPlan, Vec<usize>)],
+    jobs: &[(usize, usize)],
+    slots: &Mutex<Vec<JobSlot>>,
+) {
+    let seeds = config.seeds_per_plan as usize;
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
     let workers = config.resolved_threads().min(jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((idx, plan, seed)) = jobs.get(i).copied() else {
+                let Some((pi, s)) = jobs.get(i).copied() else {
                     return;
                 };
+                let plan = &plans[pi].0;
+                let seed = job_seed(config.base_seed, s);
                 // One registry per job, created outside `catch_unwind`: a
                 // panicking run still reports the counters it reached (the
                 // same prefix on every re-execution, so still deterministic).
                 let obs = MetricsHandle::counters();
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let mut vs = run_plan_observed(&sc, plan, seed, &obs).violations;
+                    let mut vs = run_plan_observed(sc, plan, seed, &obs).violations;
                     if config.shrink {
                         for v in &mut vs {
                             obs.add(Counter::ShrinkReplays, shrink(v) as u64);
@@ -388,19 +567,10 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
                 obs.bump(Counter::SweepJobs);
                 obs.add(Counter::SweepViolations, vs.len() as u64);
                 let snap = obs.snapshot().expect("job registry is enabled");
-                slots.lock().expect("slot lock")[idx] = Some((vs, snap));
+                slots.lock().expect("slot lock")[pi * seeds + s] = Some((vs, snap));
             });
         }
     });
-
-    let mut metrics = Snapshot::default();
-    let mut violations = Vec::new();
-    for slot in slots.into_inner().expect("slot lock") {
-        let (vs, snap) = slot.expect("every job filled its slot");
-        violations.extend(vs);
-        metrics.merge(&snap);
-    }
-    SweepReport { scenario: sc.name, plans: plans.len(), runs: jobs.len(), violations, metrics }
 }
 
 #[cfg(test)]
@@ -453,6 +623,9 @@ mod tests {
         assert!(plans
             .iter()
             .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Drop { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::CorruptMessage { .. }))));
         assert!(plans
             .iter()
             .any(|p| p.net_faults.iter().any(|f| matches!(f, NetFault::Heal { .. }))));
@@ -514,6 +687,83 @@ mod tests {
             Some(serial.violations.len() as u64)
         );
         assert!(serial.metrics.counter("schedule_slots").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn pruning_never_changes_the_violation_list() {
+        // The dominance rule's empirical soundness pin: on the canonical
+        // net scenario at depth 2 the pruned and unpruned sweeps must agree
+        // on every violation byte — pruning only spares provably clean
+        // runs. (Shared-memory scenarios never prune: the monotone set is
+        // net-only, so their reports agree trivially.)
+        for scenario in ["ksa-net", "fragile-commit"] {
+            let mut config = SweepConfig::new(scenario);
+            config.depth = if scenario == "ksa-net" { 2 } else { 1 };
+            config.seeds_per_plan = 1;
+            config.shrink = false;
+            config.threads = Some(4);
+            config.prune = false;
+            let full = sweep(&config);
+            config.prune = true;
+            let pruned = sweep(&config);
+            assert_eq!(
+                Json::Arr(full.violations.iter().map(Violation::to_json).collect()).to_string(),
+                Json::Arr(pruned.violations.iter().map(Violation::to_json).collect())
+                    .to_string(),
+                "{scenario}"
+            );
+            assert_eq!(full.plans, pruned.plans, "{scenario}");
+            assert_eq!(full.plans_pruned, 0, "{scenario}");
+            assert_eq!(full.plans_run, full.plans, "{scenario}");
+            assert_eq!(pruned.plans_run + pruned.plans_pruned, pruned.plans, "{scenario}");
+            if scenario == "ksa-net" {
+                assert!(pruned.plans_pruned > 0, "net menus must actually prune");
+            } else {
+                assert_eq!(pruned.plans_pruned, 0, "shm menus must never prune");
+            }
+            // The prune accounting is in the metrics snapshot too.
+            assert_eq!(
+                pruned.metrics.counter("sweep_plans_generated"),
+                Some(pruned.plans as u64)
+            );
+            assert_eq!(
+                pruned.metrics.counter("sweep_plans_pruned"),
+                Some(pruned.plans_pruned as u64)
+            );
+            assert_eq!(pruned.metrics.counter("sweep_plans_run"), Some(pruned.plans_run as u64));
+        }
+    }
+
+    #[test]
+    fn pruned_net_sweep_is_thread_count_invariant() {
+        // Wave barriers make the prune decisions independent of the worker
+        // count; the canonical report and merged metrics must not move.
+        let mut config = SweepConfig::new("ksa-net");
+        config.depth = 2;
+        config.seeds_per_plan = 1;
+        config.shrink = false;
+        config.threads = Some(1);
+        let serial = sweep(&config);
+        config.threads = Some(8);
+        let parallel = sweep(&config);
+        assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
+        assert_eq!(serial.metrics.to_json().to_string(), parallel.metrics.to_json().to_string());
+    }
+
+    #[test]
+    fn plan_budget_truncates_deterministically() {
+        let mut config = SweepConfig::new("fragile-commit");
+        config.depth = 1;
+        config.seeds_per_plan = 1;
+        config.shrink = false;
+        config.threads = Some(2);
+        config.plan_budget = 5;
+        let a = sweep(&config);
+        let b = sweep(&config);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.plans_run, 5);
+        assert_eq!(a.plans_pruned, a.plans - 5);
+        assert_eq!(a.runs, 5);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum ViolationKind {
         answered: usize,
         /// The quorum size that was required.
         needed: usize,
+        /// The replica group (shard) that lost its quorum — `0` for
+        /// unsharded backends; under a sharded backend only this group's
+        /// key range degraded.
+        shard: usize,
     },
 }
 
@@ -56,8 +60,11 @@ impl std::fmt::Display for ViolationKind {
                 write!(f, "wait-freedom: C{process} starved after {steps} steps")
             }
             ViolationKind::Panic { payload } => write!(f, "panic: {payload}"),
-            ViolationKind::QuorumLost { op, tick, answered, needed } => {
-                write!(f, "quorum-lost: op={op} tick={tick} answered={answered}/{needed}")
+            ViolationKind::QuorumLost { op, tick, answered, needed, shard } => {
+                write!(
+                    f,
+                    "quorum-lost: op={op} tick={tick} answered={answered}/{needed} shard={shard}"
+                )
             }
         }
     }
@@ -103,12 +110,13 @@ impl Violation {
                 ("type".into(), Json::Str("panic".into())),
                 ("payload".into(), Json::Str(payload.clone())),
             ]),
-            ViolationKind::QuorumLost { op, tick, answered, needed } => Json::Obj(vec![
+            ViolationKind::QuorumLost { op, tick, answered, needed, shard } => Json::Obj(vec![
                 ("type".into(), Json::Str("quorum-lost".into())),
                 ("op".into(), Json::Str(op.clone())),
                 ("tick".into(), Json::Num(*tick)),
                 ("answered".into(), Json::Num(*answered as u64)),
                 ("needed".into(), Json::Num(*needed as u64)),
+                ("shard".into(), Json::Num(*shard as u64)),
             ]),
         };
         Json::Obj(vec![
@@ -165,6 +173,8 @@ impl Violation {
                     .get("needed")
                     .and_then(Json::num)
                     .ok_or("violation: missing needed")? as usize,
+                // Pre-shard artifacts lack the field; they were unsharded.
+                shard: kind_obj.get("shard").and_then(Json::num).unwrap_or(0) as usize,
             },
             other => return Err(format!("violation: unknown kind {other:?}")),
         };
@@ -230,13 +240,36 @@ mod tests {
             ViolationKind::Safety { reason: "split \"brain\"".into() },
             ViolationKind::WaitFreedom { process: 2, steps: 17 },
             ViolationKind::Panic { payload: "index out of bounds".into() },
-            ViolationKind::QuorumLost { op: "write-store".into(), tick: 72, answered: 1, needed: 2 },
+            ViolationKind::QuorumLost {
+                op: "write-store".into(),
+                tick: 72,
+                answered: 1,
+                needed: 2,
+                shard: 3,
+            },
         ] {
             let mut v = sample();
             v.kind = kind;
             let text = v.to_json().to_string();
             assert_eq!(Violation::from_json(&Json::parse(&text).unwrap()).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn legacy_quorum_lost_artifacts_parse_as_unsharded() {
+        let mut v = sample();
+        v.kind = ViolationKind::QuorumLost {
+            op: "read".into(),
+            tick: 9,
+            answered: 1,
+            needed: 2,
+            shard: 0,
+        };
+        // Pre-shard writers never emitted the field; dropping it from the
+        // serialized artifact must deserialize to shard 0, not an error.
+        let text = v.to_json().to_string().replace(",\"shard\":0", "");
+        assert!(!text.contains("shard"), "field not stripped: {text}");
+        assert_eq!(Violation::from_json(&Json::parse(&text).unwrap()).unwrap(), v);
     }
 
     #[test]

@@ -60,13 +60,17 @@ pub struct Degradation {
     pub needed: usize,
     /// Total replicas in the cluster.
     pub nodes: usize,
+    /// The replica group (shard) whose quorum was lost. `0` for unsharded
+    /// backends; under a [`ShardedBackend`] only this group's key range is
+    /// degraded — sibling groups keep serving quorum operations.
+    pub shard: usize,
 }
 
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "quorum-lost: op={} key=[{}:{},{}] pid={} time={} tick={} answered={}/{} of {} nodes",
+            "quorum-lost: op={} key=[{}:{},{}] pid={} time={} tick={} answered={}/{} of {} nodes shard={}",
             self.op,
             self.key.ns,
             self.key.ix[0],
@@ -76,7 +80,8 @@ impl fmt::Display for Degradation {
             self.tick,
             self.answered,
             self.needed,
-            self.nodes
+            self.nodes,
+            self.shard
         )
     }
 }
@@ -293,6 +298,85 @@ mod tests {
         forked.write(Pid(0), 100, keys[0], Value::Int(-1));
         assert_eq!(forked.view().peek(keys[0]), Value::Int(-1));
         assert_eq!(sharded.view().peek(keys[0]), Value::Int(0));
+    }
+
+    /// A passthrough that raises a shard-tagged degradation on every write,
+    /// used to pin the cross-shard drain order.
+    #[derive(Clone, Debug)]
+    struct Degrading {
+        mem: SharedMemory,
+        shard: usize,
+        raised: Vec<Degradation>,
+    }
+
+    impl Degrading {
+        fn new(shard: usize) -> Degrading {
+            Degrading { mem: SharedMemory::new(), shard, raised: Vec::new() }
+        }
+    }
+
+    impl MemoryBackend for Degrading {
+        fn read(&mut self, _me: Pid, _now: u64, key: RegKey) -> Value {
+            self.mem.read(key)
+        }
+
+        fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value) {
+            self.mem.write(key, val);
+            self.raised.push(Degradation {
+                op: "write".to_string(),
+                key,
+                pid: me,
+                time: now,
+                tick: now,
+                answered: 0,
+                needed: 1,
+                nodes: 1,
+                shard: self.shard,
+            });
+        }
+
+        fn view(&self) -> &SharedMemory {
+            &self.mem
+        }
+
+        fn fingerprint(&self, mut h: &mut dyn Hasher) {
+            self.mem.fingerprint(&mut h);
+        }
+
+        fn clone_backend(&self) -> Box<dyn MemoryBackend> {
+            Box::new(self.clone())
+        }
+
+        fn drain_degradations(&mut self) -> Vec<Degradation> {
+            std::mem::take(&mut self.raised)
+        }
+    }
+
+    #[test]
+    fn sharded_drain_order_is_shard_index_order() {
+        let shards = 3;
+        let mut b =
+            ShardedBackend::new((0..shards).map(|s| Box::new(Degrading::new(s)) as _).collect());
+        // Find one key per group, then write them in *reverse* group order so
+        // wall-time order disagrees with group order.
+        let mut key_for: Vec<Option<RegKey>> = vec![None; shards];
+        for a in 0..64u32 {
+            let k = RegKey::new(0).at(0, a);
+            key_for[k.shard_index(shards)].get_or_insert(k);
+        }
+        for (t, s) in (0..shards).rev().enumerate() {
+            let k = key_for[s].expect("every group gets a key");
+            b.write(Pid(0), t as u64, k, Value::Int(s as i64));
+        }
+        let drained = b.drain_degradations();
+        assert_eq!(drained.len(), shards);
+        // The drained sequence is ordered by shard index, not by the time
+        // the degradations were raised.
+        let order: Vec<usize> = drained.iter().map(|d| d.shard).collect();
+        assert_eq!(order, vec![0, 1, 2], "drain must be in shard-index order");
+        assert!(drained.iter().all(|d| d.shard == b.shard_of(d.key)));
+        // Drained means drained: a second call returns nothing.
+        assert!(b.drain_degradations().is_empty());
     }
 
     #[test]

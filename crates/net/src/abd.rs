@@ -119,6 +119,24 @@ impl Store {
         self.slots.iter_mut().for_each(|s| *s = None);
     }
 
+    /// Wipes the last `torn` occupied slots — the highest-indexed
+    /// registers, i.e. the most recently interned ones: the write-behind
+    /// suffix a partial flush never persisted. What survives is a *prefix*
+    /// of the store's first-use order. Returns how many copies were lost.
+    fn truncate_suffix(&mut self, torn: usize) -> usize {
+        let mut wiped = 0;
+        for s in self.slots.iter_mut().rev() {
+            if wiped == torn {
+                break;
+            }
+            if s.is_some() {
+                *s = None;
+                wiped += 1;
+            }
+        }
+        wiped
+    }
+
     /// `true` iff no slot holds a copy.
     #[cfg(test)]
     fn is_empty(&self) -> bool {
@@ -245,15 +263,31 @@ impl AbdBackend {
             return;
         }
         while self.cursor < self.events.len() && self.events[self.cursor].0 <= upto {
-            let (_, node, is_crash) = self.events[self.cursor];
+            let (at, node, is_crash) = self.events[self.cursor];
             self.cursor += 1;
             if is_crash {
                 obs_local::bump(Counter::NetReplicaCrashes);
                 self.serving_from[node] = u64::MAX;
                 self.unsynced[node] = false;
-                if self.net.config().durability == Durability::Volatile {
+                match self.net.config().durability {
                     // Volatile stores do not survive the crash.
-                    self.replicas[node].clear();
+                    Durability::Volatile => self.replicas[node].clear(),
+                    Durability::Durable => {}
+                    // Partial flush: tear off a seeded number (at most the
+                    // flush horizon) of the most recently first-written
+                    // registers — the suffix that never reached stable
+                    // storage. The draw is a pure function of
+                    // (seed, node, crash tick), so replays agree on it.
+                    Durability::PrefixDurable(horizon) => {
+                        let draw = crate::runtime::mix(
+                            self.net.config().seed
+                                ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                ^ at.wrapping_mul(0x517c_c1b7_2722_0a95),
+                        );
+                        let torn = (draw % (horizon + 1)) as usize;
+                        let wiped = self.replicas[node].truncate_suffix(torn);
+                        obs_local::add(Counter::NetPartialFlushRegisters, wiped as u64);
+                    }
                 }
             } else {
                 obs_local::bump(Counter::NetReplicaRecoveries);
@@ -277,19 +311,36 @@ impl AbdBackend {
         let Some((peers, done)) = self.net.sync_round(node, at, &serving) else {
             return;
         };
-        let merged: Vec<(usize, Tag, Value)> = peers
-            .iter()
-            .flat_map(|p| {
-                self.replicas[*p]
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(kx, s)| s.as_ref().map(|(t, v)| (kx, *t, v.clone())))
-            })
-            .collect();
-        for (kx, tag, val) in merged {
-            self.replicas[node].put_max(kx, tag, &val);
+        // Per-register timestamp audit against the pulled quorum−1 peers:
+        // establish each slot's maximum peer tag, then repair every local
+        // copy that is absent or trails it. Under `PrefixDurable` the
+        // trailing copies are exactly the torn write-behind suffix (plus
+        // writes missed while down); the repair happens *before*
+        // `serving_from` is set, so a partially-flushed replica never acks
+        // a quorum round while holding a stale suffix.
+        let mut peak: BTreeMap<usize, (Tag, Value)> = BTreeMap::new();
+        for p in &peers {
+            for (kx, s) in self.replicas[*p].slots.iter().enumerate() {
+                if let Some((t, v)) = s {
+                    match peak.get(&kx) {
+                        Some((pt, _)) if *pt >= *t => {}
+                        _ => {
+                            peak.insert(kx, (*t, v.clone()));
+                        }
+                    }
+                }
+            }
         }
+        for (kx, (tag, val)) in &peak {
+            self.replicas[node].put_max(*kx, *tag, val);
+        }
+        debug_assert!(
+            peak.iter().all(|(kx, (t, _))| matches!(
+                self.replicas[node].get(*kx),
+                Some((lt, _)) if lt >= t
+            )),
+            "re-sync audit left replica {node} with a stale register"
+        );
         self.serving_from[node] = done;
         self.unsynced[node] = false;
         obs_local::bump(Counter::NetReplicaResyncs);
@@ -361,6 +412,7 @@ impl AbdBackend {
             answered,
             needed: need,
             nodes: self.net.config().nodes,
+            shard: self.net.config().shard,
         });
         self.degraded = true;
         self.ever_degraded = true;
@@ -787,6 +839,129 @@ mod tests {
         };
         assert_eq!(crash_then(Durability::Volatile), None, "volatile stores are wiped");
         assert!(crash_then(Durability::Durable).is_some(), "durable stores survive");
+        // A zero flush horizon tears nothing: prefix-durability degenerates
+        // to full durability.
+        assert!(crash_then(Durability::PrefixDurable(0)).is_some());
+    }
+
+    #[test]
+    fn prefix_durable_crash_tears_the_write_behind_suffix() {
+        let obs = MetricsHandle::counters();
+        let horizon = 8; // below the key count, so a prefix must survive
+        let mut cfg = NetConfig::new(3, 7).with_fault(NetFault::CrashReplica { at: 200, node: 2 });
+        cfg.durability = Durability::PrefixDurable(horizon);
+        let mut abd = AbdBackend::new(cfg);
+        let keys: Vec<RegKey> = (0..12u32).map(|a| RegKey::new(0).at(0, a)).collect();
+        let wiped = {
+            let _g = obs_local::enter(&obs, 0, 0);
+            for (i, key) in keys.iter().enumerate() {
+                abd.write(Pid(0), i as u64, *key, Value::Int(i as i64));
+            }
+            let before = abd.replicas[2].occupied();
+            assert_eq!(before, keys.len(), "healthy rounds reached every replica");
+            while abd.runtime().now() <= 200 {
+                abd.read(Pid(1), 99, keys[0]); // cross the crash tick
+            }
+            abd.read(Pid(1), 100, keys[0]); // a maintenance point past it
+            before - abd.replicas[2].occupied()
+        };
+        assert!(wiped > 0, "the seeded draw must tear a nonempty suffix");
+        assert!(wiped < keys.len(), "but keep a nonempty prefix");
+        assert_eq!(obs.get(Counter::NetPartialFlushRegisters), wiped as u64);
+        // What survives is a *prefix* of the interning order: every
+        // occupied slot sits below every wiped one.
+        let slots = &abd.replicas[2].slots;
+        let cut = keys.len() - wiped;
+        assert!(slots[..cut].iter().all(Option::is_some), "prefix survives");
+        assert!(slots[cut..].iter().all(Option::is_none), "suffix is torn");
+    }
+
+    #[test]
+    fn prefix_durable_resync_repairs_the_stale_suffix_before_serving() {
+        let mut cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::CrashReplica { at: 200, node: 2 })
+            .with_fault(NetFault::RecoverReplica { at: 260, node: 2 });
+        cfg.durability = Durability::PrefixDurable(64);
+        let mut abd = AbdBackend::new(cfg);
+        let keys: Vec<RegKey> = (0..12u32).map(|a| RegKey::new(0).at(0, a)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            abd.write(Pid(0), i as u64, *key, Value::Int(i as i64));
+        }
+        while abd.runtime().now() <= 260 {
+            abd.read(Pid(1), 99, keys[0]); // cross crash and recovery
+        }
+        abd.read(Pid(1), 100, keys[0]); // maintenance re-syncs replica 2
+        assert!(abd.drain_degradations().is_empty(), "minority crash never degrades");
+        assert_ne!(abd.serving_from[2], u64::MAX, "the re-sync completed");
+        // The per-register audit repaired the torn suffix from the peers:
+        // replica 2 now dominates the peer maximum on every register.
+        for key in &keys {
+            let kx = abd.dir[key];
+            let (peer_tag, peer_val) = abd.collect_max(&[0, 1], kx);
+            let (t, v) = abd.replicas[2].get(kx).expect("no register left stale");
+            assert!(*t >= peer_tag, "slot {kx} still trails the peers");
+            if *t == peer_tag {
+                assert_eq!(v, &peer_val);
+            }
+        }
+    }
+
+    #[test]
+    fn degradations_carry_their_shard_tag() {
+        let mut cfg =
+            NetConfig::new(3, 7).with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
+        cfg.shard = 2;
+        let mut abd = AbdBackend::new(cfg);
+        abd.write(Pid(0), 5, RegKey::new(0), Value::Int(1));
+        let raised = abd.drain_degradations();
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].shard, 2);
+        assert!(raised[0].to_string().ends_with("shard=2"), "got {}", raised[0]);
+    }
+
+    #[test]
+    fn quorum_loss_in_one_shard_leaves_the_others_serving() {
+        // Group 1's majority is cut; group 0 is healthy. Built directly
+        // (not via `sharded_backend`) because `ShardMap::config_for`
+        // replicates faults across groups and this test needs asymmetry.
+        let obs = MetricsHandle::counters();
+        let shards = 2;
+        let healthy_cfg = {
+            let mut c = NetConfig::new(3, 11);
+            c.shard = 0;
+            c
+        };
+        let faulted_cfg = {
+            let mut c =
+                NetConfig::new(3, 11).with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] });
+            c.shard = 1;
+            c
+        };
+        let mut sharded = ShardedBackend::new(vec![
+            Box::new(AbdBackend::new(healthy_cfg)) as Box<dyn MemoryBackend>,
+            Box::new(AbdBackend::new(faulted_cfg)) as Box<dyn MemoryBackend>,
+        ]);
+        let mut key_for: Vec<Option<RegKey>> = vec![None; shards];
+        for a in 0..64u32 {
+            let k = RegKey::new(0).at(0, a);
+            key_for[k.shard_index(shards)].get_or_insert(k);
+        }
+        let (k0, k1) = (key_for[0].unwrap(), key_for[1].unwrap());
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            sharded.write(Pid(0), 0, k1, Value::Int(10)); // degrades group 1
+            sharded.write(Pid(0), 1, k0, Value::Int(20)); // group 0 unaffected
+            assert_eq!(sharded.read(Pid(1), 2, k1), Value::Int(10), "degraded group serves its view");
+            assert_eq!(sharded.read(Pid(1), 3, k0), Value::Int(20));
+        }
+        // Only group 1's key range degraded, and every raised degradation
+        // names it (the degraded group's later probes may raise more).
+        assert!(obs.get(Counter::NetQuorumLost) >= 1);
+        let drained = sharded.drain_degradations();
+        assert!(!drained.is_empty());
+        assert!(drained.iter().all(|d| d.shard == 1), "only group 1 degrades: {drained:?}");
+        // Group 0 kept paying (and completing) real quorum rounds.
+        assert!(obs.get(Counter::NetShard0Msgs) > 0);
     }
 
     #[test]

@@ -56,6 +56,19 @@ pub enum NetFault {
         /// The recovering replica index.
         node: usize,
     },
+    /// Messages arriving on node `node`'s links in the window `[at, until)`
+    /// are corrupted in flight. The runtime's per-message checksum detects
+    /// the corruption at arrival and quarantines the message instead of
+    /// delivering it, so — like [`NetFault::Drop`] — retransmission rounds
+    /// recover it and linearized outcomes are unaffected.
+    CorruptMessage {
+        /// Start of the corrupting window.
+        at: u64,
+        /// End (exclusive) of the corrupting window.
+        until: u64,
+        /// The affected replica index.
+        node: usize,
+    },
 }
 
 impl NetFault {
@@ -88,6 +101,12 @@ impl NetFault {
             NetFault::RecoverReplica { at, node } => Json::Obj(vec![
                 ("type".into(), Json::Str("recover-replica".into())),
                 ("at".into(), Json::Num(*at)),
+                ("node".into(), Json::Num(*node as u64)),
+            ]),
+            NetFault::CorruptMessage { at, until, node } => Json::Obj(vec![
+                ("type".into(), Json::Str("corrupt-message".into())),
+                ("at".into(), Json::Num(*at)),
+                ("until".into(), Json::Num(*until)),
                 ("node".into(), Json::Num(*node as u64)),
             ]),
         }
@@ -131,7 +150,22 @@ impl NetFault {
                 node: json.get("node").and_then(Json::num).ok_or("recover-replica lacks `node`")?
                     as usize,
             }),
-            other => Err(format!("unknown net fault type `{other}`")),
+            "corrupt-message" => Ok(NetFault::CorruptMessage {
+                at,
+                until: json
+                    .get("until")
+                    .and_then(Json::num)
+                    .ok_or("corrupt-message lacks `until`")?,
+                node: json.get("node").and_then(Json::num).ok_or("corrupt-message lacks `node`")?
+                    as usize,
+            }),
+            // Never degrade an unrecognized fault to "no fault": replaying a
+            // plan without one of its faults would silently change what the
+            // artifact certifies.
+            other => Err(format!(
+                "unknown net fault type `{other}` — the artifact was likely written by a \
+                 newer version; refusing to replay the plan with this fault dropped"
+            )),
         }
     }
 
@@ -146,6 +180,9 @@ impl NetFault {
             NetFault::Drop { at, until, node } => format!("drop({node}@{at}..{until})"),
             NetFault::CrashReplica { at, node } => format!("crash-replica({node}@{at})"),
             NetFault::RecoverReplica { at, node } => format!("recover-replica({node}@{at})"),
+            NetFault::CorruptMessage { at, until, node } => {
+                format!("corrupt({node}@{at}..{until})")
+            }
         }
     }
 }
@@ -165,14 +202,23 @@ pub enum Durability {
     /// was down, and an un-synced ack would break the quorum-intersection
     /// argument.
     Durable,
+    /// Partial flush (torn write-behind): the crash deterministically keeps
+    /// only a *seeded prefix* of the replica's register writes, wiping up to
+    /// `flush_horizon` of the most recently first-written registers — the
+    /// suffix that had not reached stable storage. The re-sync barrier's
+    /// per-register tag audit detects the stale suffix against quorum−1
+    /// peers before the replica serves again.
+    PrefixDurable(u64),
 }
 
 impl Durability {
-    /// Stable name used in JSON encodings.
+    /// Stable name used in JSON encodings (the `PrefixDurable` horizon is
+    /// carried by the separate `flush_horizon` config field).
     pub fn name(&self) -> &'static str {
         match self {
             Durability::Volatile => "volatile",
             Durability::Durable => "durable",
+            Durability::PrefixDurable(_) => "prefix-durable",
         }
     }
 }
@@ -226,6 +272,11 @@ pub struct NetConfig {
     /// Duplicate every k-th delivered message (`0`: never). Replicas are
     /// idempotent, so duplicates only show up in the counters.
     pub dup_every: u64,
+    /// Corrupt every k-th message in flight (`0`: never). The per-message
+    /// checksum detects the corruption at arrival and the message is
+    /// quarantined — counted, dropped, and recovered by retransmission —
+    /// never delivered, so linearized outcomes are unaffected.
+    pub corrupt_every: u64,
     /// Broadcast rounds to attempt before declaring a quorum unreachable.
     pub max_rounds: u32,
     /// What replica stores survive a [`NetFault::CrashReplica`].
@@ -262,6 +313,7 @@ impl NetConfig {
             max_delay: 4,
             drop_every: 0,
             dup_every: 0,
+            corrupt_every: 0,
             max_rounds: 3,
             durability: Durability::Volatile,
             read_optimized: false,
@@ -423,8 +475,16 @@ impl NetConfig {
             ("max_delay".into(), Json::Num(self.max_delay)),
             ("drop_every".into(), Json::Num(self.drop_every)),
             ("dup_every".into(), Json::Num(self.dup_every)),
+            ("corrupt_every".into(), Json::Num(self.corrupt_every)),
             ("max_rounds".into(), Json::Num(self.max_rounds as u64)),
             ("durability".into(), Json::Str(self.durability.name().into())),
+            (
+                "flush_horizon".into(),
+                Json::Num(match self.durability {
+                    Durability::PrefixDurable(h) => h,
+                    _ => 0,
+                }),
+            ),
             ("read_optimized".into(), Json::Bool(self.read_optimized)),
             ("legacy_panic".into(), Json::Bool(self.legacy_panic)),
             ("batch_max".into(), Json::Num(self.batch_max)),
@@ -454,10 +514,14 @@ impl NetConfig {
             max_delay: num("max_delay")?,
             drop_every: json.get("drop_every").and_then(Json::num).unwrap_or(0),
             dup_every: json.get("dup_every").and_then(Json::num).unwrap_or(0),
+            corrupt_every: json.get("corrupt_every").and_then(Json::num).unwrap_or(0),
             max_rounds: num("max_rounds")? as u32,
             // PR-4 artifacts lack the replica-failure fields; default them.
             durability: match json.get("durability").and_then(Json::str) {
                 Some("durable") => Durability::Durable,
+                Some("prefix-durable") => Durability::PrefixDurable(
+                    json.get("flush_horizon").and_then(Json::num).unwrap_or(0),
+                ),
                 _ => Durability::Volatile,
             },
             read_optimized: json.get("read_optimized").and_then(Json::bool).unwrap_or(false),
@@ -556,13 +620,34 @@ mod tests {
             .with_fault(NetFault::Heal { at: 90 })
             .with_fault(NetFault::Drop { at: 5, until: 9, node: 1 })
             .with_fault(NetFault::CrashReplica { at: 20, node: 2 })
-            .with_fault(NetFault::RecoverReplica { at: 33, node: 2 });
+            .with_fault(NetFault::RecoverReplica { at: 33, node: 2 })
+            .with_fault(NetFault::CorruptMessage { at: 12, until: 25, node: 3 });
         cfg.durability = Durability::Durable;
         cfg.read_optimized = true;
         cfg.batch_max = 16;
         cfg.shard = 2;
+        cfg.corrupt_every = 11;
         let back = NetConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn prefix_durability_roundtrips_with_its_horizon() {
+        let mut cfg = NetConfig::new(3, 7);
+        cfg.durability = Durability::PrefixDurable(5);
+        let back = NetConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.durability, Durability::PrefixDurable(5));
+        assert_eq!(back, cfg);
+        assert_eq!(Durability::PrefixDurable(5).name(), "prefix-durable");
+    }
+
+    #[test]
+    fn unknown_fault_variant_is_a_forward_compat_error() {
+        let json = Json::parse(r#"{"type":"gamma-ray","at":3}"#).unwrap();
+        let err = NetFault::from_json(&json).unwrap_err();
+        assert!(err.contains("unknown net fault type `gamma-ray`"), "{err}");
+        assert!(err.contains("newer version"), "the message must explain itself: {err}");
+        assert!(err.contains("refusing to replay"), "{err}");
     }
 
     #[test]
@@ -643,6 +728,9 @@ mod tests {
         ));
         // Drops never break the precondition (retransmits recover).
         assert!(majority_safe(&[NetFault::Drop { at: 0, until: 100, node: 0 }], 3));
+        // Corruption is quarantined and retransmitted — like drops, it never
+        // breaks the precondition.
+        assert!(majority_safe(&[NetFault::CorruptMessage { at: 0, until: 100, node: 0 }], 3));
     }
 
     #[test]
@@ -715,6 +803,10 @@ mod tests {
         assert_eq!(
             NetFault::RecoverReplica { at: 60, node: 2 }.describe(),
             "recover-replica(2@60)"
+        );
+        assert_eq!(
+            NetFault::CorruptMessage { at: 2, until: 9, node: 1 }.describe(),
+            "corrupt(1@2..9)"
         );
     }
 }

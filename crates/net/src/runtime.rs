@@ -34,7 +34,7 @@ use crate::config::{NetConfig, NetFault};
 /// SplitMix64 finalizer — the statistically solid 64-bit mixer used to
 /// derive per-message delays from `(seed, message counter)` without storing
 /// RNG state.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -161,6 +161,44 @@ impl NetRuntime {
             })
     }
 
+    /// `true` iff a message on `node`'s links at tick `t` falls inside an
+    /// active [`NetFault::CorruptMessage`] window.
+    fn corrupting_window(&self, node: usize, t: u64) -> bool {
+        self.cfg.faults.iter().any(|f| {
+            matches!(f, NetFault::CorruptMessage { at, until, node: c } if *c == node && *at <= t && t < *until)
+        })
+    }
+
+    /// Checksum of message `c`: a splitmix64 digest of `(seed, message id)`,
+    /// recomputable by the receiver without carrying payload bytes around.
+    fn digest(&self, c: u64) -> u64 {
+        mix(self.cfg.seed ^ c.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+
+    /// Verifies the current message's checksum at arrival on `endpoints`'
+    /// links at tick `arrive`. In-flight corruption (the periodic
+    /// `corrupt_every` knob or an active [`NetFault::CorruptMessage`]
+    /// window) XORs a nonzero seeded flip into the payload, so the
+    /// receiver's recomputed digest can never match; the mismatch is
+    /// counted and the message quarantined (`false`) — the caller treats it
+    /// like a drop, and a retransmission round recovers it. Messages
+    /// outside any corruption source verify trivially, leaving healthy
+    /// runs byte-identical.
+    fn verify(&self, endpoints: &[usize], arrive: u64) -> bool {
+        let periodic =
+            self.cfg.corrupt_every > 0 && self.msgs.is_multiple_of(self.cfg.corrupt_every);
+        if !periodic && !endpoints.iter().any(|n| self.corrupting_window(*n, arrive)) {
+            return true;
+        }
+        let expected = self.digest(self.msgs);
+        let flip = mix(self.msgs.wrapping_mul(0xa076_1d64_78bd_642f) ^ self.cfg.seed) | 1;
+        let received = expected ^ flip;
+        debug_assert_ne!(received, expected, "a nonzero flip never passes verification");
+        obs_local::bump(Counter::NetCorruptMsgsDetected);
+        obs_local::bump(Counter::NetCorruptMsgsQuarantined);
+        received == expected
+    }
+
     /// Sends one message to (or from) replica `node` at tick `sent`;
     /// returns its delivery tick, or `None` if a link dropped it.
     fn transmit(&mut self, node: usize, dir: Dir, sent: u64) -> Option<u64> {
@@ -187,6 +225,9 @@ impl NetRuntime {
         if self.lossy(node, arrive) {
             obs_local::bump(Counter::NetMsgsDropped);
             return None;
+        }
+        if !self.verify(&[node], arrive) {
+            return None; // corrupt in flight: quarantined, never delivered
         }
         obs_local::bump(Counter::NetMsgsDelivered);
         obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::Channel, dur });
@@ -348,6 +389,9 @@ impl NetRuntime {
         if self.lossy(puller, arrive) || self.lossy(peer, arrive) {
             obs_local::bump(Counter::NetMsgsDropped);
             return None;
+        }
+        if !self.verify(&[puller, peer], arrive) {
+            return None; // corrupt in flight: quarantined, never delivered
         }
         obs_local::bump(Counter::NetMsgsDelivered);
         obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::Channel, dur });
@@ -528,6 +572,56 @@ mod tests {
         // A peer that is itself awaiting re-sync refuses the pull.
         let mut healthy_rt = healthy(3);
         assert!(healthy_rt.sync_round(0, 5, &[0, u64::MAX, u64::MAX]).is_none());
+    }
+
+    #[test]
+    fn periodic_corruption_is_quarantined_and_recovered() {
+        let obs = MetricsHandle::counters();
+        let mut cfg = NetConfig::new(3, 7);
+        cfg.corrupt_every = 4;
+        cfg.max_rounds = 6;
+        let mut rt = NetRuntime::new(cfg);
+        let _g = obs_local::enter(&obs, 0, 0);
+        for _ in 0..20 {
+            rt.quorum_round().expect("corruption must be recovered by retransmits");
+        }
+        let detected = obs.get(Counter::NetCorruptMsgsDetected);
+        assert!(detected > 0, "the periodic knob must have fired");
+        assert_eq!(
+            detected,
+            obs.get(Counter::NetCorruptMsgsQuarantined),
+            "every detected corruption is quarantined"
+        );
+        // Quarantined messages were sent but never delivered.
+        let sent = obs.get(Counter::NetMsgsSent);
+        let delivered = obs.get(Counter::NetMsgsDelivered);
+        assert!(sent >= delivered + detected, "sent={sent} delivered={delivered}");
+    }
+
+    #[test]
+    fn corruption_windows_behave_like_drops() {
+        let obs = MetricsHandle::counters();
+        let cfg = NetConfig::new(3, 7)
+            .with_fault(NetFault::CorruptMessage { at: 0, until: 10, node: 0 });
+        let mut rt = NetRuntime::new(cfg);
+        let _g = obs_local::enter(&obs, 0, 0);
+        let (responders, _, _) = rt.quorum_round().expect("two healthy replicas keep the quorum");
+        assert!(!responders.contains(&0), "node 0's replies were quarantined");
+        assert!(obs.get(Counter::NetCorruptMsgsDetected) > 0);
+        // Quarantine is not link loss: the drop counter stays at zero.
+        assert_eq!(obs.get(Counter::NetMsgsDropped), 0);
+    }
+
+    #[test]
+    fn healthy_runs_see_no_corruption() {
+        let obs = MetricsHandle::counters();
+        let mut rt = healthy(5);
+        let _g = obs_local::enter(&obs, 0, 0);
+        for _ in 0..10 {
+            rt.quorum_round().expect("healthy net");
+        }
+        assert_eq!(obs.get(Counter::NetCorruptMsgsDetected), 0);
+        assert_eq!(obs.get(Counter::NetCorruptMsgsQuarantined), 0);
     }
 
     #[test]

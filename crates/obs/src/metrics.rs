@@ -121,10 +121,25 @@ pub enum Counter {
     /// Messages sent by replica group (shard) 3 — groups beyond the fourth
     /// fold into this counter.
     NetShard3Msgs,
+    /// Messages whose checksum failed verification at arrival (in-flight
+    /// corruption detected by the splitmix64 digest).
+    NetCorruptMsgsDetected,
+    /// Corrupt messages quarantined instead of delivered (retransmission
+    /// recovers them; today every detected corruption is quarantined).
+    NetCorruptMsgsQuarantined,
+    /// Registers wiped by a partial flush on a `PrefixDurable` replica
+    /// crash (the torn write-behind suffix).
+    NetPartialFlushRegisters,
+    /// Fault plans enumerated by the bounded plan search before pruning.
+    SweepPlansGenerated,
+    /// Fault plans skipped by dominance pruning / the plan budget.
+    SweepPlansPruned,
+    /// Fault plans actually evaluated by the sweep.
+    SweepPlansRun,
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 41] = [
+pub const COUNTERS: [Counter; 47] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -166,6 +181,12 @@ pub const COUNTERS: [Counter; 41] = [
     Counter::NetShard1Msgs,
     Counter::NetShard2Msgs,
     Counter::NetShard3Msgs,
+    Counter::NetCorruptMsgsDetected,
+    Counter::NetCorruptMsgsQuarantined,
+    Counter::NetPartialFlushRegisters,
+    Counter::SweepPlansGenerated,
+    Counter::SweepPlansPruned,
+    Counter::SweepPlansRun,
 ];
 
 impl Counter {
@@ -213,6 +234,12 @@ impl Counter {
             Counter::NetShard1Msgs => "net_shard1_msgs",
             Counter::NetShard2Msgs => "net_shard2_msgs",
             Counter::NetShard3Msgs => "net_shard3_msgs",
+            Counter::NetCorruptMsgsDetected => "net_corrupt_msgs_detected",
+            Counter::NetCorruptMsgsQuarantined => "net_corrupt_msgs_quarantined",
+            Counter::NetPartialFlushRegisters => "net_partial_flush_registers",
+            Counter::SweepPlansGenerated => "sweep_plans_generated",
+            Counter::SweepPlansPruned => "sweep_plans_pruned",
+            Counter::SweepPlansRun => "sweep_plans_run",
         }
     }
 

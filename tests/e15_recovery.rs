@@ -112,9 +112,17 @@ fn e15_fixed_seed_crash_recover_run_has_exact_counters() {
 #[test]
 fn e15_durable_and_volatile_recoveries_agree_on_decisions() {
     // The durability policy decides what survives the crash (and how much
-    // the re-sync has to move), never what the run decides.
+    // the re-sync has to move), never what the run decides. PrefixDurable
+    // lands in between: the crashed store keeps only a prefix of its writes
+    // (a torn suffix is drawn at crash time), and the re-sync barrier audits
+    // the stale remainder before the replica serves again.
     let (_, out_shm, _) = ksa_run(&MetricsHandle::disabled(), None);
-    for durability in [Durability::Volatile, Durability::Durable] {
+    for durability in [
+        Durability::Volatile,
+        Durability::Durable,
+        Durability::PrefixDurable(1),
+        Durability::PrefixDurable(8),
+    ] {
         let obs = MetricsHandle::counters();
         let (slots, out, degradations) = ksa_run(&obs, Some(crash_recover_cfg(durability)));
         assert_eq!(slots, Some(320), "{durability:?}");

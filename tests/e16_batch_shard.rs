@@ -134,6 +134,32 @@ fn e16_quorum_loss_still_degrades_gracefully_with_batching() {
 }
 
 #[test]
+fn e16_mid_batch_quorum_loss_matches_unbatched_degradation() {
+    // Quorum loss landing *mid-batch* must be invisible at the semantic
+    // layer: once the retransmission horizon expires, every op in the stuck
+    // batch is served from the linearized view, exactly like the same op
+    // stream under batch_max = 1. Slots, decisions, and the degraded ops'
+    // identities all agree; only the message economy (and the degradation
+    // multiplicity — a batch degrades as one unit) may differ.
+    for seed in [7u64, 19] {
+        let run_with_batch = |batch_max: u64| {
+            let mut cfg = NetConfig::new(4, seed ^ 0x7e7);
+            cfg.batch_max = batch_max;
+            cfg.faults = vec![NetFault::Partition { at: 10, nodes: vec![0, 1, 2] }];
+            ksa_run(seed, Some(Box::new(AbdBackend::new(cfg))))
+        };
+        let (slots1, out1, degr1) = run_with_batch(1);
+        let (slots4, out4, degr4) = run_with_batch(4);
+        let (_, baseline, _) = ksa_run(seed, None);
+        assert!(slots1.is_some() && slots4.is_some(), "both runs terminate (seed {seed})");
+        assert_eq!(slots4, slots1, "seed {seed}: batching must not change the schedule");
+        assert_eq!(out1, baseline, "seed {seed}: unbatched view serves shm decisions");
+        assert_eq!(out4, baseline, "seed {seed}: batched view serves shm decisions");
+        assert!(degr1 > 0 && degr4 > 0, "seed {seed}: both runs lost the quorum");
+    }
+}
+
+#[test]
 fn e16_crash_recovery_counters_survive_batching() {
     // The e15 crash/recover pair with batch_max = 4: same decisions, same
     // slots, and the recovery machinery still fires exactly once.
