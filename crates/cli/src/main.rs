@@ -38,6 +38,8 @@ use wfa::modelcheck::lemma11::{refute_strong_2_renaming, BoxedAuto, ConsensusVia
 use wfa::obs::json::Json;
 use wfa::obs::metrics::{MetricsHandle, Snapshot};
 use wfa::obs::span::timeline;
+use wfa::gossip::backend::GossipBackend;
+use wfa::gossip::config::GossipConfig;
 use wfa::net::abd::AbdBackend;
 use wfa::net::config::NetConfig;
 use wfa::tasks::agreement::SetAgreement;
@@ -45,19 +47,25 @@ use wfa::tasks::renaming::Renaming;
 use wfa::tasks::task::Task;
 
 /// Builds the register backend selected by `--backend`: `None` for the
-/// in-process shared memory (`shm`, the default), or the ABD emulation over
-/// `nodes` simulated replicas (`net`), optionally batching up to
+/// in-process shared memory (`shm`, the default), the ABD emulation over
+/// `nodes` simulated replicas (`net`) — optionally batching up to
 /// `batch_max` same-pid ops per quorum round (`--batch-max`, default 1 =
 /// the e14-pinned classic path) and splitting the register space across
 /// `shards` independent replica groups of `nodes` replicas each
-/// (`--shards`, default 1). The net delay seed is derived from the run
-/// seed so `--seed` fully determines the network too.
+/// (`--shards`, default 1) — or the delta-CRDT anti-entropy substrate over
+/// `nodes` replicas (`gossip`), with an exchange round every
+/// `gossip_interval` ops (`--gossip-interval`, default 1) and the
+/// non-monotone guard disarmed by `gossip_unsafe` (`--gossip-unsafe`).
+/// Backend seeds derive from the run seed so `--seed` fully determines the
+/// network too.
 fn select_backend(
     backend: &str,
     nodes: usize,
     seed: u64,
     batch_max: u64,
     shards: usize,
+    gossip_interval: u64,
+    gossip_unsafe: bool,
 ) -> Result<Option<Box<dyn wfa::kernel::backend::MemoryBackend>>, String> {
     match backend {
         "shm" => Ok(None),
@@ -73,7 +81,12 @@ fn select_backend(
                 Box::new(AbdBackend::new(cfg))
             }))
         }
-        other => Err(format!("unknown backend `{other}` (try: shm, net)")),
+        "gossip" => {
+            let mut cfg = GossipConfig::new(nodes, seed ^ 0x7e7).with_interval(gossip_interval);
+            cfg.allow_nonmonotone = gossip_unsafe;
+            Ok(Some(Box::new(GossipBackend::new(cfg))))
+        }
+        other => Err(format!("unknown backend `{other}` (try: shm, net, gossip)")),
     }
 }
 
@@ -120,6 +133,8 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
     let net_nodes: usize = args.get("net-nodes", n)?;
     let batch_max: u64 = args.get("batch-max", 1)?;
     let shards: usize = args.get("shards", 1)?;
+    let gossip_interval: u64 = args.get("gossip-interval", 1)?;
+    let gossip_unsafe: bool = args.get("gossip-unsafe", false)?;
     if k == 0 || k > n {
         return Err("need 1 ≤ k ≤ n".into());
     }
@@ -145,7 +160,9 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
         .collect();
     let obs = MetricsHandle::counters();
     let mut run = EfdRun::new(c, s, fd).with_metrics(obs.clone());
-    if let Some(b) = select_backend(&backend, net_nodes, seed, batch_max, shards)? {
+    if let Some(b) =
+        select_backend(&backend, net_nodes, seed, batch_max, shards, gossip_interval, gossip_unsafe)?
+    {
         run = run.with_backend(b);
     }
     let mut sched = run.fair_sched(seed ^ 0xc11);
@@ -209,6 +226,8 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
     let net_nodes: usize = args.get("net-nodes", j)?;
     let batch_max: u64 = args.get("batch-max", 1)?;
     let shards: usize = args.get("shards", 1)?;
+    let gossip_interval: u64 = args.get("gossip-interval", 1)?;
+    let gossip_unsafe: bool = args.get("gossip-unsafe", false)?;
     let m = j + 1;
     let obs = MetricsHandle::counters();
     let mut rows: Vec<(usize, usize, i64)> = Vec::new();
@@ -217,7 +236,15 @@ fn cmd_rename(args: &Args) -> Result<(), String> {
         for seed in 0..seeds {
             let mut ex = Executor::new();
             ex.set_metrics(obs.clone());
-            if let Some(b) = select_backend(&backend, net_nodes, seed, batch_max, shards)? {
+            if let Some(b) = select_backend(
+                &backend,
+                net_nodes,
+                seed,
+                batch_max,
+                shards,
+                gossip_interval,
+                gossip_unsafe,
+            )? {
                 ex.set_backend(b);
             }
             let pids: Vec<Pid> =
@@ -515,7 +542,9 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
         Some("list") => {
             for name in Scenario::catalog() {
                 let sc = Scenario::by_name(name).expect("catalog names resolve");
-                let backend = if sc.net_nodes > 0 {
+                let backend = if sc.net_gossip {
+                    format!("gossip({})", sc.net_nodes)
+                } else if sc.net_nodes > 0 {
                     let order = if sc.net_fifo { "" } else { ",reorder" };
                     format!("net({}{order})", sc.net_nodes)
                 } else {
@@ -633,7 +662,37 @@ fn obs_source(
             run.run_until_decided(&mut sched, 5_000_000);
             Ok((obs.snapshot().expect("metrics enabled"), obs.events()))
         }
-        other => Err(format!("unknown source `{other}` (try: figure2, sweep, explore, net)")),
+        // The same ksa run over the delta-CRDT gossip backend: round and
+        // delta counters, anti-entropy spans, zero messages on the op path.
+        "gossip" => {
+            let (n, k, stab) = (4usize, 2usize, 200u64);
+            let pattern = wfa::fd::environment::Environment::up_to(n, 1).sample(seed, stab);
+            let fd = FdGen::vector_omega_k(pattern, k, stab, seed);
+            let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+            let c: Vec<Box<dyn DynProcess>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Box::new(SetAgreementC::new(i, k as u32, v.clone())) as Box<dyn DynProcess>
+                })
+                .collect();
+            let s: Vec<Box<dyn DynProcess>> = (0..n)
+                .map(|q| {
+                    Box::new(SetAgreementS::new(q as u32, n as u32, n, k as u32))
+                        as Box<dyn DynProcess>
+                })
+                .collect();
+            let obs = MetricsHandle::with_events(4096);
+            let mut run = EfdRun::new(c, s, fd)
+                .with_metrics(obs.clone())
+                .with_backend(Box::new(GossipBackend::new(GossipConfig::new(n, seed ^ 0x7e7))));
+            let mut sched = run.fair_sched(seed ^ 0xc11);
+            run.run_until_decided(&mut sched, 5_000_000);
+            Ok((obs.snapshot().expect("metrics enabled"), obs.events()))
+        }
+        other => {
+            Err(format!("unknown source `{other}` (try: figure2, sweep, explore, net, gossip)"))
+        }
     }
 }
 
@@ -758,13 +817,17 @@ fn usage() -> &'static str {
        help       this text\n\
      \n\
      `ksa` and `rename` accept --json for a machine-readable report with\n\
-     the canonical metrics snapshot attached, and --backend shm|net to run\n\
-     over the in-process shared memory or the ABD-replicated network\n\
-     emulation (identical decision values for identical seeds). With\n\
+     the canonical metrics snapshot attached, and --backend shm|net|gossip\n\
+     to run over the in-process shared memory, the ABD-replicated network\n\
+     emulation, or the delta-CRDT anti-entropy substrate (identical\n\
+     decision values for identical seeds on fault-free runs). With\n\
      --backend net, --batch-max B coalesces up to B same-pid register ops\n\
      per quorum round and --shards S splits the register space across S\n\
      independent replica groups of --net-nodes replicas each; neither knob\n\
-     changes decisions or schedules. `throughput` prints the deterministic\n\
+     changes decisions or schedules. With --backend gossip, ops are\n\
+     replica-local (zero messages on the op path), --gossip-interval R runs\n\
+     an anti-entropy round every R ops, and --gossip-unsafe disarms the\n\
+     monotone-register guard. `throughput` prints the deterministic\n\
      B10 counter report for those knobs (byte-identical for any thread\n\
      count; wall-clock curves live in BENCH_net_throughput.json)."
 }

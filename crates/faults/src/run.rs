@@ -15,6 +15,9 @@ use rand::SeedableRng;
 
 use wfa_core::harness::{EfdRun, RunReport};
 use wfa_fd::pattern::FailurePattern;
+use wfa_gossip::backend::GossipBackend;
+use wfa_gossip::config::GossipConfig;
+use wfa_kernel::backend::DegradationKind;
 use wfa_kernel::sched::{Record, Replay, Starve};
 use wfa_kernel::value::Pid;
 use wfa_net::abd::{sharded_backend, AbdBackend};
@@ -81,7 +84,15 @@ pub fn build_run(
         cfg.fifo = sc.net_fifo;
         cfg.batch_max = sc.net_batch;
         cfg.corrupt_every = sc.net_corrupt;
-        if sc.net_shards > 1 {
+        if sc.net_gossip {
+            // Same network, different substrate: ops are replica-local and
+            // the plan's faults bite the anti-entropy exchanges instead of
+            // quorum rounds (batching/sharding knobs don't apply).
+            run = run.with_backend(Box::new(GossipBackend::new(GossipConfig {
+                net: cfg,
+                ..GossipConfig::new(sc.net_nodes, seed ^ 0x7e7)
+            })));
+        } else if sc.net_shards > 1 {
             // One independent ABD cluster per replica group; keys route by
             // `RegKey::shard_index` and faults replicate per group.
             let map = ShardMap::new(sc.net_shards, sc.net_nodes);
@@ -150,17 +161,27 @@ pub fn run_plan_observed(
         schedule: schedule.iter().map(|p| p.0).collect(),
         original_len: schedule.len(),
     };
-    // Quorum-loss degradations the net backend raised through the seam: a
-    // first-class, replayable violation instead of panic isolation. Only
-    // the first is recorded — every later one is the same degraded spell
-    // re-probing (a long run would otherwise drown the report).
+    // Degradations the backend raised through the seam — quorum loss from
+    // ABD, stale advice from gossip — become first-class, replayable
+    // violations instead of panic isolation. Only the first is recorded —
+    // every later one is the same degraded spell re-probing (a long run
+    // would otherwise drown the report).
     if let Some(d) = run.executor.degradations().first() {
-        violations.push(mk(ViolationKind::QuorumLost {
-            op: d.op.clone(),
-            tick: d.tick,
-            answered: d.answered,
-            needed: d.needed,
-            shard: d.shard,
+        violations.push(mk(match d.kind {
+            DegradationKind::QuorumLost => ViolationKind::QuorumLost {
+                op: d.op.clone(),
+                tick: d.tick,
+                answered: d.answered,
+                needed: d.needed,
+                shard: d.shard,
+            },
+            DegradationKind::AdviceStale => ViolationKind::AdviceStale {
+                op: d.op.clone(),
+                tick: d.tick,
+                answered: d.answered,
+                needed: d.needed,
+                shard: d.shard,
+            },
         }));
     }
     if let Err(e) = report.validate() {
@@ -203,6 +224,8 @@ pub struct ReplayVerdict {
 ///   starve trivially, so the stored schedule alone cannot certify it).
 /// * `QuorumLost` — re-runs the full plan and matches the first raised
 ///   degradation's `(op, tick)`.
+/// * `AdviceStale` — same discipline as `QuorumLost`: re-runs the full plan
+///   and matches the first stale-advice report's `(op, tick)`.
 /// * `Panic` — re-runs the full plan under `catch_unwind`.
 ///
 /// # Errors
@@ -261,6 +284,29 @@ pub fn replay(v: &Violation) -> Result<ReplayVerdict, String> {
                 None => ReplayVerdict {
                     reproduced: false,
                     detail: format!("no {op} quorum loss at tick {tick} this time"),
+                },
+            }
+        }
+        ViolationKind::AdviceStale { op, tick, .. } => {
+            let outcome = run_plan(&sc, &v.plan, v.seed);
+            let hit = outcome.violations.iter().find_map(|w| match &w.kind {
+                ViolationKind::AdviceStale { op: o, tick: t, answered, needed, .. }
+                    if o == op && t == tick =>
+                {
+                    Some((*answered, *needed))
+                }
+                _ => None,
+            });
+            match hit {
+                Some((answered, needed)) => ReplayVerdict {
+                    reproduced: true,
+                    detail: format!(
+                        "advice stale again: op={op} tick={tick} dry={answered}/{needed}"
+                    ),
+                },
+                None => ReplayVerdict {
+                    reproduced: false,
+                    detail: format!("no {op} staleness at tick {tick} this time"),
                 },
             }
         }
@@ -584,6 +630,66 @@ mod tests {
         assert_eq!(shm.report.output, net.report.output);
         assert_eq!(shm.schedule, net.schedule);
         assert!(net.violations.is_empty());
+    }
+
+    #[test]
+    fn gossip_and_shm_ksa_agree_on_outputs() {
+        // Key-homed ops make the fault-free gossip run observationally
+        // identical to shared memory: same decisions, same schedule, no
+        // violations.
+        let shm = run_plan(&Scenario::ksa(), &FaultPlan::clean(), 9);
+        let gsp = run_plan(&Scenario::ksa_net_gossip(), &FaultPlan::clean(), 9);
+        assert!(
+            gsp.violations.is_empty(),
+            "{:?}",
+            gsp.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(shm.report.output, gsp.report.output);
+        assert_eq!(shm.schedule, gsp.schedule);
+    }
+
+    #[test]
+    fn gossip_renaming_decides_like_shm() {
+        let shm = run_plan(&Scenario::renaming(), &FaultPlan::clean(), 5);
+        let gsp = run_plan(&Scenario::rename_net_gossip(), &FaultPlan::clean(), 5);
+        assert!(gsp.violations.is_empty());
+        assert_eq!(shm.report.output, gsp.report.output);
+        assert_eq!(shm.schedule, gsp.schedule);
+    }
+
+    #[test]
+    fn starved_gossip_replica_yields_replayable_advice_stale_violation() {
+        // One replica is partitioned from round one and crashes for good
+        // mid-run: deltas it minted never propagated, so once `home_of`
+        // probes past it the fallback replica serves genuinely stale values
+        // and — after the crashed-home horizon — a typed `AdviceStale`
+        // violation whose artifact round-trips through JSON and replays.
+        // Safety holds: stale advice delays, it never lies, so staleness is
+        // the *only* violation and the Δ-verdict stays ok.
+        let sc = Scenario::ksa_net_gossip();
+        let plan = FaultPlan::clean().partition(vec![0], 0).crash_replica(0, 400);
+        let outcome = run_plan(&sc, &plan, 3);
+        let v = outcome
+            .violations
+            .iter()
+            .find(|w| matches!(w.kind, ViolationKind::AdviceStale { .. }))
+            .expect("an unhealed partition must starve some home past the horizon")
+            .clone();
+        match &v.kind {
+            ViolationKind::AdviceStale { op, answered, needed, .. } => {
+                assert_eq!(op, "read");
+                assert!(answered > needed, "dry rounds beyond the horizon: {}", v.kind);
+            }
+            other => panic!("expected advice-stale violation, got {other}"),
+        }
+        assert_eq!(outcome.violations.len(), 1, "staleness must be the only violation");
+        assert!(outcome.report.verdict.is_ok());
+        let text = v.to_json().to_string();
+        let parsed = Violation::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let verdict = replay(&parsed).unwrap();
+        assert!(verdict.reproduced, "{}", verdict.detail);
+        assert!(verdict.detail.contains("advice stale again"), "{}", verdict.detail);
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //! * `ksa-net-shard` — `ksa-net` with the register space sharded over two
 //!   independent 3-replica groups: quorum loss degrades per group, not
 //!   globally.
+//! * `ksa-net-gossip` — `ksa` over the delta-CRDT gossip backend
+//!   (4 replicas): ops are replica-local and freshness rides anti-entropy
+//!   rounds, so fault plans starve replicas into typed `AdviceStale`
+//!   reports instead of quorum loss.
 //! * `renaming` — Figure-4 renaming under the (j, 2j−1) bound.
+//! * `rename-net-gossip` — the renaming experiment over the gossip backend.
 //! * `wait-for-all` — a deliberately non-wait-free adopt-commit variant that
 //!   blocks until every proposal is published: the fixture that gives the
 //!   sweep real *wait-freedom* violations (its safety is fine — everyone
@@ -92,6 +97,12 @@ pub struct Scenario {
     /// clusters (quorum loss in one group degrades only that group's key
     /// range). `1` runs the single-cluster backend.
     pub net_shards: usize,
+    /// Use the delta-CRDT gossip backend instead of the ABD quorum backend
+    /// (requires `net_nodes > 0`; `net_batch`/`net_shards` are ignored).
+    /// Gossip reads may be *stale* — loss and partitions change which value
+    /// an op observes, not just its cost — so sweeps over gossip scenarios
+    /// must not apply monotone-loss dominance pruning.
+    pub net_gossip: bool,
     /// The Δ to validate against.
     pub task: Arc<dyn Task>,
     /// Builds the (honest) detector for a failure pattern.
@@ -122,8 +133,10 @@ impl Scenario {
             "ksa-net" => Some(Scenario::ksa_net()),
             "ksa-net-batch" => Some(Scenario::ksa_net_batch()),
             "ksa-net-corrupt" => Some(Scenario::ksa_net_corrupt()),
+            "ksa-net-gossip" => Some(Scenario::ksa_net_gossip()),
             "ksa-net-reorder" => Some(Scenario::ksa_net_reorder()),
             "ksa-net-shard" => Some(Scenario::ksa_net_shard()),
+            "rename-net-gossip" => Some(Scenario::rename_net_gossip()),
             "renaming" => Some(Scenario::renaming()),
             "wait-for-all" => Some(Scenario::wait_for_all()),
             _ => None,
@@ -139,8 +152,10 @@ impl Scenario {
             "ksa-net",
             "ksa-net-batch",
             "ksa-net-corrupt",
+            "ksa-net-gossip",
             "ksa-net-reorder",
             "ksa-net-shard",
+            "rename-net-gossip",
             "renaming",
             "wait-for-all",
         ]
@@ -159,6 +174,7 @@ impl Scenario {
             net_batch: 1,
             net_corrupt: 0,
             net_shards: 1,
+            net_gossip: false,
             task: Arc::new(AcTask { parties: n, distinct_inputs: false }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -192,6 +208,7 @@ impl Scenario {
             net_batch: 1,
             net_corrupt: 0,
             net_shards: 1,
+            net_gossip: false,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -224,6 +241,7 @@ impl Scenario {
             net_batch: 1,
             net_corrupt: 0,
             net_shards: 1,
+            net_gossip: false,
             task: Arc::new(SetAgreement::new(n, k as usize)),
             mk_fd: Arc::new(move |p, stab, seed| FdGen::vector_omega_k(p, k as usize, stab, seed)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -308,6 +326,30 @@ impl Scenario {
         sc
     }
 
+    /// [`Scenario::ksa`] over the delta-CRDT gossip backend, four replicas.
+    /// Every register op is local to the key's home replica — zero messages
+    /// on the op path — and freshness rides periodic anti-entropy rounds, so
+    /// a plan that partitions or crashes replicas starves reads into typed
+    /// `AdviceStale` reports instead of stranding quorum rounds.
+    pub fn ksa_net_gossip() -> Scenario {
+        let mut sc = Scenario::ksa();
+        sc.name = "ksa-net-gossip".into();
+        sc.net_nodes = 4;
+        sc.net_gossip = true;
+        sc
+    }
+
+    /// [`Scenario::renaming`] over the delta-CRDT gossip backend, three
+    /// replicas: the second register program exercised over gossip, probing
+    /// that staleness never breaks the (j, 2j−1) name bound.
+    pub fn rename_net_gossip() -> Scenario {
+        let mut sc = Scenario::renaming();
+        sc.name = "rename-net-gossip".into();
+        sc.net_nodes = 3;
+        sc.net_gossip = true;
+        sc
+    }
+
     /// The deliberately non-wait-free adopt-commit variant: guaranteed
     /// discoverable wait-freedom violations (stop any party and everyone
     /// else blocks on its unpublished proposal).
@@ -323,6 +365,7 @@ impl Scenario {
             net_batch: 1,
             net_corrupt: 0,
             net_shards: 1,
+            net_gossip: false,
             task: Arc::new(AcTask { parties: n, distinct_inputs: true }),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {
@@ -355,6 +398,7 @@ impl Scenario {
             net_batch: 1,
             net_corrupt: 0,
             net_shards: 1,
+            net_gossip: false,
             task: Arc::new(Renaming::new(m, j, 2 * j - 1)),
             mk_fd: Arc::new(|p, _stab, _seed| FdGen::trivial(p)),
             factory: Arc::new(move |input: &[Value], _fd: FdGen| {

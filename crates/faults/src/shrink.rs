@@ -48,7 +48,8 @@ pub fn shrink(v: &mut Violation) -> usize {
         ViolationKind::Safety { reason } => shrink_schedule(&sc, v, &reason),
         ViolationKind::WaitFreedom { process, .. } => shrink_plan(&sc, v, process),
         ViolationKind::Panic { .. } => shrink_panic(&sc, v),
-        ViolationKind::QuorumLost { .. } => shrink_quorum_lost(&sc, v),
+        ViolationKind::QuorumLost { .. } => shrink_degradation(&sc, v, false),
+        ViolationKind::AdviceStale { .. } => shrink_degradation(&sc, v, true),
     }
 }
 
@@ -221,10 +222,11 @@ fn shrink_panic(sc: &Scenario, v: &mut Violation) -> usize {
 }
 
 /// Drops plan components one at a time, keeping each drop after which the
-/// run still degrades some quorum op. The recorded kind and schedule are
+/// run still degrades — a stranded quorum op (`stale = false`) or a
+/// stale-advice report (`stale = true`). The recorded kind and schedule are
 /// refreshed from the final minimal plan (dropping an unrelated fault can
 /// shift the tick the horizon expires at).
-fn shrink_quorum_lost(sc: &Scenario, v: &mut Violation) -> usize {
+fn shrink_degradation(sc: &Scenario, v: &mut Violation, stale: bool) -> usize {
     let mut replays = 0;
     let seed = v.seed;
     let first_loss = |plan: &FaultPlan, replays: &mut usize| -> Option<(ViolationKind, Vec<usize>)> {
@@ -233,7 +235,11 @@ fn shrink_quorum_lost(sc: &Scenario, v: &mut Violation) -> usize {
         outcome
             .violations
             .iter()
-            .find(|w| matches!(w.kind, ViolationKind::QuorumLost { .. }))
+            .find(|w| match w.kind {
+                ViolationKind::QuorumLost { .. } => !stale,
+                ViolationKind::AdviceStale { .. } => stale,
+                _ => false,
+            })
             .map(|w| (w.kind.clone(), outcome.schedule.iter().map(|p| p.0).collect()))
     };
     let mut recorded: Option<(ViolationKind, Vec<usize>)> = None;

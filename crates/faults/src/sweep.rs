@@ -63,7 +63,9 @@ impl Component {
     /// violate. Mitigating components ([`Component::Clear`],
     /// [`Component::NetHeal`]) and process/FD faults (which change the run
     /// itself) are excluded: a plan differing by one of those is never
-    /// used to prune.
+    /// used to prune. Scenarios on the gossip backend never prune at all
+    /// (`Scenario::net_gossip`): there, loss starves anti-entropy and
+    /// changes the *value* a read observes, so the monotone argument fails.
     fn is_monotone_loss(&self) -> bool {
         matches!(
             self,
@@ -427,12 +429,21 @@ pub fn sweep(config: &SweepConfig) -> SweepReport {
     // pruning is skipped (correctness never depends on it).
     let maskable = search.components.len() <= 128;
     let mask_of = |combo: &[usize]| combo.iter().fold(0u128, |m, i| m | (1u128 << *i));
-    let monotone: u128 = search
-        .components
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.is_monotone_loss())
-        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+    // Over the gossip backend *no* component is monotone: loss starves
+    // anti-entropy, which changes what a read observes (stale advice), not
+    // just what an op costs — the clean-superset argument is unsound there,
+    // so dominance pruning is disabled (the mask is empty, so no plan ever
+    // has pure-loss extras).
+    let monotone: u128 = if sc.net_gossip {
+        0
+    } else {
+        search
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_monotone_loss())
+            .fold(0u128, |m, (i, _)| m | (1u128 << i))
+    };
 
     // Execute in waves of descending combination size: every potential
     // dominator (a strict superset) finishes in an earlier wave, so by the
@@ -748,6 +759,24 @@ mod tests {
         let parallel = sweep(&config);
         assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
         assert_eq!(serial.metrics.to_json().to_string(), parallel.metrics.to_json().to_string());
+    }
+
+    #[test]
+    fn gossip_sweeps_never_dominance_prune() {
+        // Loss is not monotone over gossip (it changes observed values via
+        // staleness), so the pruned and unpruned sweeps must run the exact
+        // same plan set and produce byte-identical reports.
+        let mut config = SweepConfig::new("ksa-net-gossip");
+        config.depth = 1;
+        config.seeds_per_plan = 1;
+        config.shrink = false;
+        config.threads = Some(4);
+        config.prune = false;
+        let full = sweep(&config);
+        config.prune = true;
+        let gated = sweep(&config);
+        assert_eq!(full.to_json().to_string(), gated.to_json().to_string());
+        assert_eq!(full.plans_run, gated.plans_run, "gossip must not dominance-prune");
     }
 
     #[test]

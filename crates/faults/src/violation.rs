@@ -50,6 +50,23 @@ pub enum ViolationKind {
         /// key range degraded.
         shard: usize,
     },
+    /// A gossip-backed read served advice older than the global join while
+    /// its replica had gone past the staleness horizon without a completed
+    /// anti-entropy exchange (the adversary starved the replica for too
+    /// long). Advice is stale, never wrong — the run keeps going; the sweep
+    /// surfaces the first such report.
+    AdviceStale {
+        /// The degraded operation (always `read` today).
+        op: String,
+        /// The network tick of the stale read.
+        tick: u64,
+        /// Anti-entropy rounds the serving replica had gone dry.
+        answered: usize,
+        /// The configured staleness horizon it exceeded.
+        needed: usize,
+        /// The replica group (shard) of the serving replica.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -64,6 +81,12 @@ impl std::fmt::Display for ViolationKind {
                 write!(
                     f,
                     "quorum-lost: op={op} tick={tick} answered={answered}/{needed} shard={shard}"
+                )
+            }
+            ViolationKind::AdviceStale { op, tick, answered, needed, shard } => {
+                write!(
+                    f,
+                    "advice-stale: op={op} tick={tick} dry={answered}/{needed} shard={shard}"
                 )
             }
         }
@@ -112,6 +135,14 @@ impl Violation {
             ]),
             ViolationKind::QuorumLost { op, tick, answered, needed, shard } => Json::Obj(vec![
                 ("type".into(), Json::Str("quorum-lost".into())),
+                ("op".into(), Json::Str(op.clone())),
+                ("tick".into(), Json::Num(*tick)),
+                ("answered".into(), Json::Num(*answered as u64)),
+                ("needed".into(), Json::Num(*needed as u64)),
+                ("shard".into(), Json::Num(*shard as u64)),
+            ]),
+            ViolationKind::AdviceStale { op, tick, answered, needed, shard } => Json::Obj(vec![
+                ("type".into(), Json::Str("advice-stale".into())),
                 ("op".into(), Json::Str(op.clone())),
                 ("tick".into(), Json::Num(*tick)),
                 ("answered".into(), Json::Num(*answered as u64)),
@@ -174,6 +205,20 @@ impl Violation {
                     .and_then(Json::num)
                     .ok_or("violation: missing needed")? as usize,
                 // Pre-shard artifacts lack the field; they were unsharded.
+                shard: kind_obj.get("shard").and_then(Json::num).unwrap_or(0) as usize,
+            },
+            Some("advice-stale") => ViolationKind::AdviceStale {
+                op: kind_obj
+                    .get("op")
+                    .and_then(Json::str)
+                    .ok_or("violation: missing op")?
+                    .to_string(),
+                tick: kind_obj.get("tick").and_then(Json::num).ok_or("violation: missing tick")?,
+                answered: kind_obj.get("answered").and_then(Json::num).unwrap_or(0) as usize,
+                needed: kind_obj
+                    .get("needed")
+                    .and_then(Json::num)
+                    .ok_or("violation: missing needed")? as usize,
                 shard: kind_obj.get("shard").and_then(Json::num).unwrap_or(0) as usize,
             },
             other => return Err(format!("violation: unknown kind {other:?}")),
@@ -246,6 +291,13 @@ mod tests {
                 answered: 1,
                 needed: 2,
                 shard: 3,
+            },
+            ViolationKind::AdviceStale {
+                op: "read".into(),
+                tick: 144,
+                answered: 7,
+                needed: 4,
+                shard: 0,
             },
         ] {
             let mut v = sample();

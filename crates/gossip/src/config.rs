@@ -1,0 +1,66 @@
+//! Gossip backend configuration: the wrapped network plus the anti-entropy
+//! policy knobs.
+//!
+//! A [`GossipConfig`] is to the gossip backend what a
+//! [`wfa_net::config::NetConfig`] is to the ABD backend: it fully determines
+//! every exchange the substrate performs, so a gossip run is a pure function
+//! of `(config, operation sequence)` and replays byte-identically.
+
+use wfa_net::config::NetConfig;
+
+/// Full description of a gossip substrate: the simulated network it rides
+/// (replica count, link timing, faults) and the anti-entropy policy.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GossipConfig {
+    /// The simulated network the anti-entropy exchanges ride. `nodes` is the
+    /// replica count; the fault list (partitions, drops, crash/recover,
+    /// corruption windows) applies to exchange messages exactly as it does
+    /// to ABD quorum traffic.
+    pub net: NetConfig,
+    /// Backend register operations between anti-entropy rounds. `1` (the
+    /// default) runs a round before every op — the eager regime where clean
+    /// runs stay closest to shared memory; larger intervals trade staleness
+    /// for messages.
+    pub interval: u64,
+    /// Anti-entropy rounds a replica may go without one successful exchange
+    /// before its stale reads degrade to a typed `AdviceStale` outcome.
+    /// Reads within the horizon are merely counted (`net_gossip_stale_reads`).
+    pub stale_horizon: u64,
+    /// Accept non-monotone register programs (ones that erase a register by
+    /// writing `⊥` over a value — a transition a join can never propagate).
+    /// Off by default; the CLI surfaces it as `--gossip-unsafe`.
+    pub allow_nonmonotone: bool,
+}
+
+impl GossipConfig {
+    /// An eager gossip substrate over a healthy `nodes`-replica network.
+    pub fn new(nodes: usize, seed: u64) -> GossipConfig {
+        GossipConfig {
+            net: NetConfig::new(nodes, seed),
+            interval: 1,
+            stale_horizon: 4,
+            allow_nonmonotone: false,
+        }
+    }
+
+    /// Builder-style interval override.
+    pub fn with_interval(mut self, interval: u64) -> GossipConfig {
+        self.interval = interval.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_eager_guarded_regime() {
+        let cfg = GossipConfig::new(4, 7);
+        assert_eq!(cfg.net.nodes, 4);
+        assert_eq!(cfg.interval, 1);
+        assert_eq!(cfg.stale_horizon, 4);
+        assert!(!cfg.allow_nonmonotone);
+        assert_eq!(cfg.with_interval(0).interval, 1, "interval is clamped to 1");
+    }
+}

@@ -1,0 +1,41 @@
+//! # wfa-gossip — delta-CRDT anti-entropy advice substrate
+//!
+//! The third register backend of the wait-freedom-with-advice tree, after
+//! in-process `SharedMemory` and the `wfa-net` ABD quorum emulation: an
+//! *eventually-consistent* substrate where reads and writes are
+//! replica-local (zero messages on the op path) and freshness travels
+//! between ops through periodic anti-entropy rounds.
+//!
+//! The design is the standard delta-state CRDT stack, specialised to the
+//! kernel's sequential op model:
+//!
+//! * [`store`] — join-semilattice register entries (globally sequenced, so
+//!   join = max and the global join equals the linearized contents), dots
+//!   and per-origin causal contexts, the append-only delta log, and the
+//!   Merkle digest tree that lets quiescent peers sync in O(1) messages
+//!   and diverging peers locate differences in O(log registers).
+//! * [`backend`] — [`backend::GossipBackend`], the `MemoryBackend`
+//!   implementation: key-homed ops, per-peer delta buffers with ack-driven
+//!   GC, seeded circulant exchange rounds over the deterministic
+//!   `wfa-net` runtime (every fault the net models applies to exchange
+//!   traffic), typed `AdviceStale` degradation for horizon-stale reads,
+//!   and the convergence/causal-delivery oracles fault sweeps drive.
+//! * [`config`] — [`config::GossipConfig`]: the wrapped `NetConfig` plus
+//!   the anti-entropy interval, staleness horizon, and the
+//!   non-monotone-program gate (`--gossip-unsafe`).
+//!
+//! The substrate is *correct for the monotone advice/FD register class*:
+//! advice served from a lagging replica is stale, never wrong, and joins
+//! can never retract a value a reader observed. The one non-monotone
+//! transition the kernel's registers allow — erasing a register by writing
+//! `⊥` over a value — is refused at runtime unless explicitly accepted.
+
+pub mod backend;
+pub mod config;
+pub mod store;
+
+/// Common imports for driving a gossip-backed run.
+pub mod prelude {
+    pub use crate::backend::GossipBackend;
+    pub use crate::config::GossipConfig;
+}

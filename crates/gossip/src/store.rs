@@ -1,0 +1,331 @@
+//! The delta-state store: lattice entries, dots, causal contexts, and the
+//! Merkle digest tree.
+//!
+//! Every write the backend accepts becomes a **delta**: a lattice entry
+//! (globally sequenced, so entries are totally ordered and join = max) tagged
+//! with a **dot** `(origin, index)` — the `index`-th delta minted at replica
+//! `origin`. A replica's state is the join of the deltas it has merged, and
+//! its **causal context** records exactly which: per-origin contiguous dot
+//! prefixes (exchanges always ship contiguous ranges, so contexts never have
+//! gaps). Two replicas compare state in O(1) by exchanging the roots of
+//! their [`DigestTree`]s — a binary Merkle tree over the dense slot array —
+//! and locate differing registers in O(log slots) by descending it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use wfa_kernel::value::Value;
+use wfa_net::runtime::mix;
+
+/// One register's lattice point: the globally `seq`-stamped value of the
+/// latest write merged into a replica. The kernel performs at most one
+/// register operation per schedule step, so writes are already totally
+/// ordered; stamping them with that order makes every per-register lattice a
+/// chain (`join = max by seq`) and the global join equal to the linearized
+/// shared-memory contents.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Entry {
+    /// Global write sequence number (1-based; unique across all registers).
+    pub seq: u64,
+    /// The process that performed the write.
+    pub writer: u32,
+    /// The written value.
+    pub val: Value,
+}
+
+/// A delta's identity: the `index`-th delta minted at replica `origin`
+/// (1-based, contiguous per origin).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dot {
+    /// Replica that minted the delta.
+    pub origin: usize,
+    /// Position in that origin's mint order.
+    pub index: u64,
+}
+
+/// One delta record of the write-ahead delta log: which dot carried which
+/// entry into which slot.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DeltaRec {
+    /// The delta's identity.
+    pub dot: Dot,
+    /// Dense slot index of the register it updates.
+    pub slot: usize,
+    /// The lattice entry it contributes.
+    pub entry: Entry,
+}
+
+/// One replica's delta-state: the per-slot joins it has accumulated and the
+/// causal context saying which dots produced them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ReplicaStore {
+    /// Dense per-register lattice points; `None` is the lattice bottom
+    /// (never-written, or not yet received here).
+    pub slots: Vec<Option<Entry>>,
+    /// Causal context: `ctx[o]` = number of origin-`o` dots merged (always a
+    /// contiguous prefix of that origin's mint order).
+    pub ctx: Vec<u64>,
+}
+
+impl ReplicaStore {
+    /// An empty store over `origins` replicas.
+    pub fn new(origins: usize) -> ReplicaStore {
+        ReplicaStore { slots: Vec::new(), ctx: vec![0; origins] }
+    }
+
+    /// Grows the slot array to cover `slots` registers.
+    pub fn ensure_slots(&mut self, slots: usize) {
+        if self.slots.len() < slots {
+            self.slots.resize(slots, None);
+        }
+    }
+
+    /// Merges one delta. Returns `true` iff the dot was fresh here (it
+    /// advanced the causal context); duplicates are ignored. Exchanges ship
+    /// contiguous per-origin ranges, so a gap is a protocol bug.
+    pub fn merge(&mut self, rec: &DeltaRec) -> bool {
+        let seen = &mut self.ctx[rec.dot.origin];
+        if rec.dot.index <= *seen {
+            return false; // duplicate: joins are idempotent
+        }
+        debug_assert_eq!(
+            rec.dot.index,
+            *seen + 1,
+            "exchange shipped a non-contiguous dot range (origin {})",
+            rec.dot.origin
+        );
+        *seen = rec.dot.index;
+        self.ensure_slots(rec.slot + 1);
+        let cell = &mut self.slots[rec.slot];
+        // Join = max by the global write sequence; ties cannot happen (seq
+        // is unique), so `>` alone decides.
+        if cell.as_ref().is_none_or(|cur| rec.entry.seq > cur.seq) {
+            *cell = Some(rec.entry.clone());
+        }
+        true
+    }
+
+    /// Wipes the volatile state (a replica crash): slots and context reset
+    /// to bottom. Dot counters live with the backend, not the replica, so
+    /// recovery never forks a mint order.
+    pub fn wipe(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.ctx.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// `ctx[o]` with bounds slack for oracles.
+    pub fn seen(&self, origin: usize) -> u64 {
+        self.ctx.get(origin).copied().unwrap_or(0)
+    }
+
+    /// The digest tree over this store's current slots.
+    pub fn digest_tree(&self, slots: usize) -> DigestTree {
+        DigestTree::over(&self.slots, slots)
+    }
+}
+
+/// Stable 64-bit hash of one slot's lattice point (`0` for bottom is fine:
+/// leaf hashes are salted with the slot index, so position still matters).
+fn slot_hash(entry: &Option<Entry>) -> u64 {
+    match entry {
+        None => 0,
+        Some(e) => {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        }
+    }
+}
+
+/// A binary Merkle tree over the dense slot array. Quiescent peers compare
+/// roots in one message each; differing peers locate the unequal registers
+/// by descending level-by-level — O(log slots) comparisons.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DigestTree {
+    /// `levels[0]` = salted leaf hashes (padded to a power of two);
+    /// `levels.last()` = the root.
+    levels: Vec<Vec<u64>>,
+}
+
+impl DigestTree {
+    /// Builds the tree over the first `slots` entries of `store` (absent
+    /// tails hash as bottom, so replicas with short slot arrays compare
+    /// correctly against longer ones).
+    pub fn over(store: &[Option<Entry>], slots: usize) -> DigestTree {
+        let width = slots.next_power_of_two().max(1);
+        let mut leaves = vec![0u64; width];
+        for (i, leaf) in leaves.iter_mut().enumerate() {
+            let h = store.get(i).map_or(0, slot_hash);
+            *leaf = mix(h ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        let mut levels = vec![leaves];
+        while levels.last().map(Vec::len).unwrap_or(1) > 1 {
+            let below = levels.last().unwrap();
+            let up: Vec<u64> = below
+                .chunks(2)
+                .map(|pair| mix(pair[0] ^ pair.get(1).copied().unwrap_or(0).rotate_left(17)))
+                .collect();
+            levels.push(up);
+        }
+        DigestTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> u64 {
+        *self.levels.last().and_then(|l| l.first()).expect("tree always has a root")
+    }
+
+    /// Tree height (root-comparison excluded): the number of levels a
+    /// descent traverses, i.e. `ceil(log2(slots))`.
+    pub fn height(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Slots where `self` and `other` disagree, found by Merkle descent.
+    /// Returns `(differing slots, nodes compared)` — the comparison count is
+    /// what the O(log) claim is about, and tests pin it.
+    pub fn diff(&self, other: &DigestTree) -> (Vec<usize>, usize) {
+        let mut compared = 1usize;
+        if self.root() == other.root() && self.levels.len() == other.levels.len() {
+            return (Vec::new(), compared);
+        }
+        // Height mismatch (one side interned more registers): fall back to
+        // comparing the shared prefix leaf-wise plus the longer tail.
+        let (a, b) = (&self.levels[0], &other.levels[0]);
+        if self.levels.len() != other.levels.len() {
+            let n = a.len().max(b.len());
+            let diffs = (0..n)
+                .filter(|i| a.get(*i).copied().unwrap_or(0) != b.get(*i).copied().unwrap_or(0))
+                .collect();
+            return (diffs, compared + n);
+        }
+        // Equal shapes: descend from the root, expanding unequal nodes.
+        let mut frontier = vec![0usize]; // node indices at the current level
+        for depth in (0..self.levels.len() - 1).rev() {
+            let (la, lb) = (&self.levels[depth], &other.levels[depth]);
+            let mut next = Vec::new();
+            for node in frontier {
+                for child in [2 * node, 2 * node + 1] {
+                    if child < la.len() {
+                        compared += 1;
+                        if la[child] != lb[child] {
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        (frontier, compared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, v: i64) -> Entry {
+        Entry { seq, writer: 0, val: Value::Int(v) }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_joins_by_seq() {
+        let mut r = ReplicaStore::new(2);
+        let newer = DeltaRec { dot: Dot { origin: 0, index: 1 }, slot: 0, entry: entry(5, 50) };
+        let older = DeltaRec { dot: Dot { origin: 1, index: 1 }, slot: 0, entry: entry(3, 30) };
+        assert!(r.merge(&newer));
+        assert!(!r.merge(&newer), "duplicates are ignored");
+        assert!(r.merge(&older), "the dot is fresh even though the entry loses the join");
+        assert_eq!(r.slots[0].as_ref().unwrap().seq, 5, "join keeps the max-seq entry");
+        assert_eq!(r.ctx, vec![1, 1]);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter_for_the_join() {
+        let recs = [
+            DeltaRec { dot: Dot { origin: 0, index: 1 }, slot: 0, entry: entry(1, 10) },
+            DeltaRec { dot: Dot { origin: 0, index: 2 }, slot: 1, entry: entry(2, 20) },
+            DeltaRec { dot: Dot { origin: 1, index: 1 }, slot: 0, entry: entry(3, 30) },
+        ];
+        let mut fwd = ReplicaStore::new(2);
+        recs.iter().for_each(|r| {
+            fwd.merge(r);
+        });
+        // Per-origin order is fixed (contiguity), but origins may interleave
+        // any way: origin 1 first is equally legal.
+        let mut rev = ReplicaStore::new(2);
+        [&recs[2], &recs[0], &recs[1]].into_iter().for_each(|r| {
+            rev.merge(r);
+        });
+        assert_eq!(fwd, rev, "joins commute");
+        assert_eq!(fwd.slots[0].as_ref().unwrap().val, Value::Int(30));
+    }
+
+    #[test]
+    fn wipe_resets_to_bottom_without_touching_capacity() {
+        let mut r = ReplicaStore::new(1);
+        r.merge(&DeltaRec { dot: Dot { origin: 0, index: 1 }, slot: 2, entry: entry(1, 1) });
+        r.wipe();
+        assert!(r.slots.iter().all(Option::is_none));
+        assert_eq!(r.seen(0), 0);
+        assert_eq!(r.slots.len(), 3, "capacity survives; contents do not");
+    }
+
+    #[test]
+    fn equal_stores_have_equal_roots() {
+        let mut a = ReplicaStore::new(1);
+        let mut b = ReplicaStore::new(1);
+        for i in 0..10 {
+            let rec = DeltaRec {
+                dot: Dot { origin: 0, index: i + 1 },
+                slot: i as usize,
+                entry: entry(i + 1, i as i64),
+            };
+            a.merge(&rec);
+            b.merge(&rec);
+        }
+        assert_eq!(a.digest_tree(10).root(), b.digest_tree(10).root());
+        let (diffs, compared) = a.digest_tree(10).diff(&b.digest_tree(10));
+        assert!(diffs.is_empty());
+        assert_eq!(compared, 1, "quiescent peers compare exactly one digest");
+    }
+
+    #[test]
+    fn diff_locates_the_single_differing_slot_in_logarithmic_comparisons() {
+        let slots = 64usize;
+        let mut a = ReplicaStore::new(1);
+        let mut b = ReplicaStore::new(1);
+        for i in 0..slots {
+            let rec = DeltaRec {
+                dot: Dot { origin: 0, index: i as u64 + 1 },
+                slot: i,
+                entry: entry(i as u64 + 1, i as i64),
+            };
+            a.merge(&rec);
+            b.merge(&rec);
+        }
+        // One extra write lands only at `a`.
+        a.merge(&DeltaRec {
+            dot: Dot { origin: 0, index: slots as u64 + 1 },
+            slot: 37,
+            entry: entry(slots as u64 + 1, -1),
+        });
+        let (diffs, compared) = a.digest_tree(slots).diff(&b.digest_tree(slots));
+        assert_eq!(diffs, vec![37]);
+        // A descent expands two children per unequal node per level:
+        // 1 root + 2·height comparisons for a single differing leaf.
+        let height = a.digest_tree(slots).height();
+        assert_eq!(height, 6);
+        assert_eq!(compared, 1 + 2 * height, "O(log slots), not O(slots)");
+    }
+
+    #[test]
+    fn short_and_long_slot_arrays_compare_correctly() {
+        let mut a = ReplicaStore::new(1);
+        let b = ReplicaStore::new(1);
+        a.merge(&DeltaRec { dot: Dot { origin: 0, index: 1 }, slot: 0, entry: entry(1, 9) });
+        // Same width request: b's absent slots hash as bottom.
+        let (diffs, _) = a.digest_tree(1).diff(&b.digest_tree(1));
+        assert_eq!(diffs, vec![0]);
+    }
+}

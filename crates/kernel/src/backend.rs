@@ -32,18 +32,49 @@ use std::hash::Hasher;
 use crate::memory::{RegKey, SharedMemory};
 use crate::value::{Pid, Value};
 
+/// What flavour of weakened service a [`Degradation`] reports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DegradationKind {
+    /// A quorum operation exhausted its retransmission horizon (majority of
+    /// replicas unreachable) and was served from the linearized view — the
+    /// ABD backend's degradation, and the default for artifacts written
+    /// before the kind discriminator existed.
+    #[default]
+    QuorumLost,
+    /// An eventually-consistent read returned a value older than the global
+    /// join while its replica had gone too many anti-entropy rounds without
+    /// a successful exchange — the gossip backend's degradation. Advice is
+    /// stale, never wrong: healing lets the replica re-converge.
+    AdviceStale,
+}
+
+impl DegradationKind {
+    /// Stable name used in displays and JSON encodings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradationKind::QuorumLost => "quorum-lost",
+            DegradationKind::AdviceStale => "advice-stale",
+        }
+    }
+}
+
 /// A structured, typed degradation raised by a backend that could not
 /// complete an operation within its failure model's preconditions and fell
 /// back to a weaker substrate instead of panicking.
 ///
-/// The only producer today is the `wfa-net` ABD emulation: when a quorum
-/// operation exhausts its retransmission horizon (majority of replicas
-/// unreachable), the backend serves the op from its linearized view and
-/// raises one of these. The executor drains them after every step — they are
-/// *observations*, excluded from fingerprints like the trace — and the
-/// faults harness promotes the first one per run to a replayable Violation.
+/// Two producers exist today. The `wfa-net` ABD emulation raises
+/// [`DegradationKind::QuorumLost`] when a quorum operation exhausts its
+/// retransmission horizon (majority of replicas unreachable) and falls back
+/// to serving the linearized view. The `wfa-gossip` anti-entropy backend
+/// raises [`DegradationKind::AdviceStale`] when a partitioned replica keeps
+/// serving reads that lag the global join past its staleness horizon. The
+/// executor drains them after every step — they are *observations*, excluded
+/// from fingerprints like the trace — and the faults harness promotes the
+/// first one per run to a replayable Violation.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Degradation {
+    /// What flavour of degradation this is.
+    pub kind: DegradationKind,
     /// The protocol phase that stalled (e.g. `"read"`, `"write-store"`).
     pub op: String,
     /// The register the operation addressed.
@@ -68,9 +99,13 @@ pub struct Degradation {
 
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `answered/needed` read per kind: replies vs quorum size for
+        // quorum-lost, dry anti-entropy rounds vs staleness horizon for
+        // advice-stale.
         write!(
             f,
-            "quorum-lost: op={} key=[{}:{},{}] pid={} time={} tick={} answered={}/{} of {} nodes shard={}",
+            "{}: op={} key=[{}:{},{}] pid={} time={} tick={} answered={}/{} of {} nodes shard={}",
+            self.kind.name(),
             self.op,
             self.key.ns,
             self.key.ix[0],
@@ -123,6 +158,20 @@ pub trait MemoryBackend: Send + Sync {
     /// [`MemoryBackend::fingerprint`].
     fn drain_degradations(&mut self) -> Vec<Degradation> {
         Vec::new()
+    }
+
+    /// Concrete-type escape hatch for backends that expose run oracles
+    /// beyond the register interface (the gossip backend's convergence and
+    /// causal-delivery checks). `None` — the default — means the backend
+    /// has no such surface; harnesses must treat it as opaque.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable variant of [`MemoryBackend::as_any`], for oracles that drive
+    /// the backend (e.g. running anti-entropy rounds to quiescence).
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
     }
 }
 
@@ -323,6 +372,7 @@ mod tests {
         fn write(&mut self, me: Pid, now: u64, key: RegKey, val: Value) {
             self.mem.write(key, val);
             self.raised.push(Degradation {
+                kind: DegradationKind::QuorumLost,
                 op: "write".to_string(),
                 key,
                 pid: me,

@@ -72,7 +72,7 @@
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use wfa_kernel::backend::{Degradation, MemoryBackend, ShardedBackend};
+use wfa_kernel::backend::{Degradation, DegradationKind, MemoryBackend, ShardedBackend};
 use wfa_kernel::memory::{RegKey, SharedMemory};
 use wfa_kernel::value::{Pid, Value};
 use wfa_obs::local as obs_local;
@@ -404,6 +404,7 @@ impl AbdBackend {
         }
         obs_local::bump(Counter::NetQuorumLost);
         self.pending.push(Degradation {
+            kind: DegradationKind::QuorumLost,
             op: op.to_string(),
             key,
             pid: me,

@@ -33,8 +33,9 @@ use crate::config::{NetConfig, NetFault};
 
 /// SplitMix64 finalizer — the statistically solid 64-bit mixer used to
 /// derive per-message delays from `(seed, message counter)` without storing
-/// RNG state.
-pub(crate) fn mix(mut z: u64) -> u64 {
+/// RNG state. Public so sibling protocols over this runtime (the gossip
+/// backend's partner selection) draw from the same stateless stream family.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -364,6 +365,48 @@ impl NetRuntime {
         }
         let completion = if need == 0 { sent } else { acks[need - 1].0 };
         Some((acks[..need].iter().map(|(_, p)| *p).collect(), completion))
+    }
+
+    /// Sends one replica-to-replica message from `from` to `to` at tick
+    /// `sent` (request when `reply` is false, reply leg when true) and
+    /// returns its delivery tick, or `None` if a link dropped it. The
+    /// general pairwise primitive behind protocols that are not quorum
+    /// round trips — the gossip backend's anti-entropy exchanges ride it.
+    /// Shares the dedicated replica↔replica channels (and their FIFO marks)
+    /// with the re-sync protocol, but does not count as re-sync traffic.
+    /// Both endpoints' links are consulted at send and arrival, so
+    /// partitions, crash windows, drop windows and in-flight corruption all
+    /// apply exactly as they do to quorum traffic.
+    pub fn peer_send(&mut self, from: usize, to: usize, reply: bool, sent: u64) -> Option<u64> {
+        self.msgs += 1;
+        obs_local::bump(Counter::NetMsgsSent);
+        obs_local::bump(Counter::shard_msgs(self.cfg.shard));
+        let periodic_drop = self.cfg.drop_every > 0 && self.msgs.is_multiple_of(self.cfg.drop_every);
+        if periodic_drop || self.lossy(from, sent) || self.lossy(to, sent) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        let dur = self.delay(self.msgs);
+        let mut arrive = sent + dur;
+        let channel = if reply { 3 * self.cfg.nodes + to } else { 2 * self.cfg.nodes + to };
+        if self.cfg.fifo {
+            arrive = arrive.max(self.fifo_mark[channel]);
+        }
+        self.fifo_mark[channel] = arrive;
+        if self.lossy(from, arrive) || self.lossy(to, arrive) {
+            obs_local::bump(Counter::NetMsgsDropped);
+            return None;
+        }
+        if !self.verify(&[from, to], arrive) {
+            return None; // corrupt in flight: quarantined, never delivered
+        }
+        obs_local::bump(Counter::NetMsgsDelivered);
+        obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::Channel, dur });
+        if self.cfg.dup_every > 0 && self.msgs.is_multiple_of(self.cfg.dup_every) {
+            obs_local::bump(Counter::NetMsgsDuplicated);
+            obs_local::bump(Counter::NetMsgsDelivered);
+        }
+        Some(arrive)
     }
 
     /// Sends one re-sync message between recovering replica `puller` and

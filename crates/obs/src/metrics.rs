@@ -130,6 +130,24 @@ pub enum Counter {
     /// Registers wiped by a partial flush on a `PrefixDurable` replica
     /// crash (the torn write-behind suffix).
     NetPartialFlushRegisters,
+    /// Anti-entropy rounds run by the gossip backend (each round is one
+    /// seeded circulant sweep of pairwise digest exchanges).
+    NetGossipRounds,
+    /// Lattice deltas shipped between gossip replicas (one per delta record
+    /// carried by an exchange's payload messages).
+    NetGossipDeltasSent,
+    /// Lattice deltas that were *fresh* at the receiver and advanced its
+    /// causal context (duplicates are received but not counted here).
+    NetGossipDeltasApplied,
+    /// Anti-entropy exchanges whose Merkle root digests matched — quiescent
+    /// peers that synchronized in two messages with no delta payload.
+    NetGossipDigestHits,
+    /// Buffered delta dots garbage-collected after a peer's causal context
+    /// acknowledged them.
+    NetGossipGcDots,
+    /// Gossip reads that returned a value older than the global join (the
+    /// local replica had not yet merged the latest write).
+    NetGossipStaleReads,
     /// Fault plans enumerated by the bounded plan search before pruning.
     SweepPlansGenerated,
     /// Fault plans skipped by dominance pruning / the plan budget.
@@ -139,7 +157,7 @@ pub enum Counter {
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 47] = [
+pub const COUNTERS: [Counter; 53] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -184,6 +202,12 @@ pub const COUNTERS: [Counter; 47] = [
     Counter::NetCorruptMsgsDetected,
     Counter::NetCorruptMsgsQuarantined,
     Counter::NetPartialFlushRegisters,
+    Counter::NetGossipRounds,
+    Counter::NetGossipDeltasSent,
+    Counter::NetGossipDeltasApplied,
+    Counter::NetGossipDigestHits,
+    Counter::NetGossipGcDots,
+    Counter::NetGossipStaleReads,
     Counter::SweepPlansGenerated,
     Counter::SweepPlansPruned,
     Counter::SweepPlansRun,
@@ -237,6 +261,12 @@ impl Counter {
             Counter::NetCorruptMsgsDetected => "net_corrupt_msgs_detected",
             Counter::NetCorruptMsgsQuarantined => "net_corrupt_msgs_quarantined",
             Counter::NetPartialFlushRegisters => "net_partial_flush_registers",
+            Counter::NetGossipRounds => "net_gossip_rounds",
+            Counter::NetGossipDeltasSent => "net_gossip_deltas_sent",
+            Counter::NetGossipDeltasApplied => "net_gossip_deltas_applied",
+            Counter::NetGossipDigestHits => "net_gossip_digest_hits",
+            Counter::NetGossipGcDots => "net_gossip_gc_dots",
+            Counter::NetGossipStaleReads => "net_gossip_stale_reads",
             Counter::SweepPlansGenerated => "sweep_plans_generated",
             Counter::SweepPlansPruned => "sweep_plans_pruned",
             Counter::SweepPlansRun => "sweep_plans_run",

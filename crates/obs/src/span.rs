@@ -91,6 +91,10 @@ pub enum SpanKind {
     /// max-tag register state from a majority before serving again
     /// (duration = simulated network time spent on the pull rounds).
     ReplicaResync,
+    /// One anti-entropy round of the gossip backend: a seeded circulant
+    /// sweep of pairwise digest/delta exchanges (duration = simulated
+    /// network time the round's exchanges consumed).
+    AntiEntropy,
 }
 
 impl SpanKind {
@@ -105,6 +109,7 @@ impl SpanKind {
             SpanKind::QuorumOp => "quorum_op",
             SpanKind::Channel => "channel",
             SpanKind::ReplicaResync => "replica_resync",
+            SpanKind::AntiEntropy => "anti_entropy",
         }
     }
 }

@@ -29,10 +29,15 @@
 //!   quorum-replicated register backend: every algorithm above also runs
 //!   over an asynchronous network with a correct majority, unchanged,
 //!   through the kernel's `MemoryBackend` seam.
+//! * [`gossip`] — the delta-CRDT anti-entropy advice substrate: a third
+//!   register backend where ops are replica-local (zero messages on the op
+//!   path) and freshness travels through periodic digest/delta exchange
+//!   rounds; stale advice degrades to a typed outcome, never a panic.
 
 pub use wfa_algorithms as algorithms;
 pub use wfa_core as core;
 pub use wfa_faults as faults;
+pub use wfa_gossip as gossip;
 pub use wfa_net as net;
 pub use wfa_obs as obs;
 pub use wfa_fd as fd;
