@@ -195,6 +195,27 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
                 }),
             ),
             ("degradations".into(), Json::Num(run.executor.degradations().len() as u64)),
+            (
+                // The closing half of the degradation lifecycle: one row
+                // per resolved spell, with the ticks that bound it (MTTR =
+                // resolve - degrade). Absent in legacy consumers' inputs —
+                // parsers must treat a missing array as empty.
+                "recoveries".into(),
+                Json::Arr(
+                    run.executor
+                        .resolutions()
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("class".into(), Json::Str(r.kind.name().into())),
+                                ("shard".into(), Json::Num(r.shard as u64)),
+                                ("degrade_tick".into(), Json::Num(r.degrade_tick)),
+                                ("resolve_tick".into(), Json::Num(r.resolve_tick)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("metrics".into(), obs.snapshot().expect("metrics enabled").to_json()),
         ]);
         println!("{obj}");
@@ -204,6 +225,9 @@ fn cmd_ksa(args: &Args) -> Result<(), String> {
         }
         for d in run.executor.degradations() {
             println!("degraded : {d}");
+        }
+        for r in run.executor.resolutions() {
+            println!("resolved : {r}");
         }
     }
     match (&report.verdict, slots) {
@@ -428,7 +452,7 @@ fn cmd_extract(args: &Args) -> Result<(), String> {
 fn cmd_faults(argv: &[String]) -> Result<(), String> {
     use wfa::faults::prelude::*;
 
-    const FAULTS_USAGE: &str = "USAGE: wfa-cli faults <sweep|replay|list>\n\
+    const FAULTS_USAGE: &str = "USAGE: wfa-cli faults <sweep|soak|replay|list>\n\
          \n\
          faults sweep  --scenario NAME [--depth D --seeds S --seed B --threads T\n\
          \t\t--no-prune --plan-budget N --out FILE]\n\
@@ -447,10 +471,32 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
          \treport JSON (byte-identical for every --threads value). Exits\n\
          \tnon-zero if violations were found.\n\
          \n\
-         faults replay <violation.json>\n\
+         faults soak   [--backend shm|net|gossip --ticks N --seed S\n\
+         \t\t--intensity calm|storm|mixed --checkpoint-every N --nodes N\n\
+         \t\t--inject-bug --shrink --json --out FILE]\n\
          \n\
-         \tRe-executes a serialized violation artifact from scratch and\n\
-         \treports whether it still reproduces. Exits non-zero if not.\n\
+         \tOne deterministic long-horizon chaos soak: a seeded stream of\n\
+         \tserialized fault windows (crash/recover, partitions, loss and\n\
+         \tcorruption windows, read-only freeze spells; storm phases add\n\
+         \theal-bounded majority partitions) drives the chosen backend to\n\
+         \tthe tick horizon while online oracles check model equality,\n\
+         \tquorum safety, gossip convergence-on-quiescence, causal replay\n\
+         \tand the degradation lifecycle. On violation, a flight recorder\n\
+         \tof periodic checkpoints certifies the replay resumes from the\n\
+         \tlast checkpoint rather than tick 0; --shrink then drops fault\n\
+         \twindows while the violation keeps reproducing. The report\n\
+         \tcarries a `recoveries` array and an MTTR table per degradation\n\
+         \tclass, and is byte-identical for any WFA_THREADS value. Exits\n\
+         \tnon-zero when an oracle fired.\n\
+         \n\
+         faults replay <artifact.json>\n\
+         \n\
+         \tRe-executes a serialized violation or soak artifact from\n\
+         \tscratch and reports whether it still reproduces. For soak\n\
+         \tartifacts the fresh run is diffed field by field against the\n\
+         \tartifact (verdict, violation op, op count, final tick,\n\
+         \trecovery count); any difference prints as a structured diff.\n\
+         \tExits non-zero if the artifact does not reproduce.\n\
          \n\
          faults list\n\
          \n\
@@ -501,6 +547,49 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
                 Err(format!("{} violation(s) found", report.violations.len()))
             }
         }
+        Some("soak") => {
+            use wfa::faults::chaos::{self, Intensity, SoakBackend, SoakConfig};
+            let args = Args::parse(&argv[1..])?;
+            let backend_name = args.get("backend", "shm".to_string())?;
+            let backend = SoakBackend::parse(&backend_name).ok_or_else(|| {
+                format!("unknown backend `{backend_name}` (try: shm, net, gossip)")
+            })?;
+            let intensity_name = args.get("intensity", "mixed".to_string())?;
+            let intensity = Intensity::parse(&intensity_name).ok_or_else(|| {
+                format!("unknown intensity `{intensity_name}` (try: calm, storm, mixed)")
+            })?;
+            let mut cfg = SoakConfig::new(backend);
+            cfg.intensity = intensity;
+            cfg.ticks = args.get("ticks", cfg.ticks)?;
+            cfg.seed = args.get("seed", cfg.seed)?;
+            cfg.checkpoint_every = args.get("checkpoint-every", cfg.checkpoint_every)?;
+            cfg.nodes = args.get("nodes", cfg.nodes)?;
+            cfg.inject_bug = args.get("inject-bug", false)?;
+            let mut report = chaos::soak(&cfg);
+            if args.get("shrink", false)? && report.violation.is_some() {
+                let (shrunk, replays) = chaos::shrink_soak(&report);
+                println!(
+                    "shrink   : {} fault(s) -> {} over {replays} re-soak(s)",
+                    report.faults.len(),
+                    shrunk.faults.len()
+                );
+                report = shrunk;
+            }
+            if args.get("json", false)? {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+            if let Some(path) = args.0.get("out") {
+                std::fs::write(path, report.to_json().to_string())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("artifact written to {path}");
+            }
+            match &report.violation {
+                None => Ok(()),
+                Some(v) => Err(format!("soak violation: {} at op {}", v.kind, v.op)),
+            }
+        }
         Some("replay") => {
             let Some(path) = argv.get(1) else {
                 return Err(format!("missing artifact path\n\n{FAULTS_USAGE}"));
@@ -508,6 +597,23 @@ fn cmd_faults(argv: &[String]) -> Result<(), String> {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let json = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            // A soak artifact replays through the chaos engine: re-run the
+            // stored timeline and diff the verdicts structurally.
+            if wfa::faults::chaos::is_soak_artifact(&json) {
+                let (fresh, diff) = wfa::faults::chaos::replay_soak(&json)?;
+                print!("{}", fresh.render());
+                return if diff.is_empty() {
+                    println!("reproduced: soak artifact verdict matches on replay");
+                    Ok(())
+                } else {
+                    println!("NOT reproduced: {} field(s) differ", diff.len());
+                    println!("{:<14} {:>16} {:>16}", "field", "artifact", "replay");
+                    for (field, old, new) in &diff {
+                        println!("{field:<14} {old:>16} {new:>16}");
+                    }
+                    Err(format!("soak artifact did not reproduce ({} field(s) differ)", diff.len()))
+                };
+            }
             // Accept both a bare violation and a full sweep report.
             let violations: Vec<Violation> = match json.get("violations") {
                 Some(arr) => arr
@@ -812,7 +918,7 @@ fn usage() -> &'static str {
        hierarchy  Theorem-10 table      (--n --runs)\n\
        refute     Lemma-11 pipeline\n\
        extract    Figure-1 extraction   (--slots --stab --seed)\n\
-       faults     adversarial fault injection (sweep | replay | list)\n\
+       faults     adversarial fault injection (sweep | soak | replay | list)\n\
        obs        observability         (summary | export | diff)\n\
        help       this text\n\
      \n\

@@ -27,7 +27,15 @@
 //! ([`run::replay`]) — after a greedy shrinking pass ([`shrink::shrink`]).
 //! Panics inside a run are caught per job and become violations themselves;
 //! a sweep never dies half way.
+//!
+//! The [`chaos`] module is the long-horizon complement to the searched
+//! sweeps: deterministic 10k+ tick soaks against any backend under a
+//! seeded stream of composed faults, with online oracles, a flight
+//! recorder of copy-on-write checkpoints backing violation replay, and
+//! per-fault-class MTTR aggregation of the degradation → resolution
+//! lifecycle ([`chaos::soak`]).
 
+pub mod chaos;
 pub mod fdwrap;
 pub mod plan;
 pub mod run;
@@ -42,6 +50,9 @@ pub use wfa_obs::json;
 
 /// Everything a fault-sweep caller usually needs.
 pub mod prelude {
+    pub use crate::chaos::{
+        replay_soak, shrink_soak, soak, Intensity, SoakBackend, SoakConfig, SoakReport,
+    };
     pub use crate::fdwrap::FaultyFdGen;
     pub use crate::json::Json;
     pub use crate::plan::{FaultPlan, FdFault};

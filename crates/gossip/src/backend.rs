@@ -59,13 +59,14 @@
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use wfa_kernel::backend::{Degradation, DegradationKind, MemoryBackend};
+use wfa_kernel::backend::{Degradation, DegradationKind, MemoryBackend, Resolution};
 use wfa_kernel::memory::{RegKey, SharedMemory};
 use wfa_kernel::value::{Pid, Value};
 use wfa_net::config::{Durability, NetFault};
+use wfa_net::retry::probe_healthy;
 use wfa_net::runtime::{mix, NetRuntime};
 use wfa_obs::local as obs_local;
-use wfa_obs::metrics::Counter;
+use wfa_obs::metrics::{Counter, HistKind};
 use wfa_obs::span::{seq, EventKind, SpanKind};
 
 use crate::config::GossipConfig;
@@ -122,6 +123,12 @@ pub struct GossipBackend {
     /// Rate limit: the round in which each replica last raised an
     /// `AdviceStale` degradation (one per replica per round).
     last_degraded_round: Vec<u64>,
+    /// Per *preferred* home: the tick at which the current stale-advice
+    /// spell for keys homed there first degraded, `None` when healthy. The
+    /// anchor of the MTTR sample emitted when a read of such a key comes
+    /// back fresh (or its lag drops back under the horizon).
+    /// Observation-only: excluded from the fingerprint.
+    stale_since: Vec<Option<u64>>,
     /// The global join — equal to the linearized contents because writes
     /// are globally sequenced. Serves [`MemoryBackend::view`] and the
     /// staleness comparison.
@@ -129,6 +136,9 @@ pub struct GossipBackend {
     /// Degradations raised but not yet drained. An observation stream:
     /// excluded from the fingerprint.
     pending: Vec<Degradation>,
+    /// Resolutions (spell-closing edges) not yet drained. An observation
+    /// stream like `pending`: excluded from the fingerprint.
+    resolved: Vec<Resolution>,
 }
 
 impl GossipBackend {
@@ -163,8 +173,10 @@ impl GossipBackend {
             crashed: vec![false; n],
             crash_round: vec![0; n],
             last_degraded_round: vec![u64::MAX; n],
+            stale_since: vec![None; n],
             view: SharedMemory::new(),
             pending: Vec::new(),
+            resolved: Vec::new(),
         }
     }
 
@@ -223,9 +235,7 @@ impl GossipBackend {
     /// (`key.shard_index(nodes)`), probing linearly past crashed replicas.
     /// Falls back to the preferred home if every replica is down.
     fn home_of(&self, key: RegKey) -> usize {
-        let n = self.nodes();
-        let start = key.shard_index(n);
-        (0..n).map(|d| (start + d) % n).find(|r| !self.crashed[*r]).unwrap_or(start)
+        probe_healthy(key.shard_index(self.nodes()), self.nodes(), |r| !self.crashed[r])
     }
 
     /// Merges log record `idx` into replica `r`; on a fresh merge, fans the
@@ -482,37 +492,63 @@ impl MemoryBackend for GossipBackend {
             .and_then(Option::as_ref)
             .map_or(Value::Unit, |e| e.val.clone());
         let truth = self.view.peek(key);
+        // How long has freshness been out of reach? Two clocks: rounds
+        // since the serving replica's last completed exchange (partition
+        // starvation), and rounds since the key's preferred home crashed
+        // (its unpropagated deltas are unreachable until it recovers).
+        let preferred = key.shard_index(self.nodes());
+        let dry = self.rounds.saturating_sub(self.last_success[home]);
+        let crashed_dry = if self.crashed[preferred] {
+            self.rounds.saturating_sub(self.crash_round[preferred])
+        } else {
+            0
+        };
+        let lag = dry.max(crashed_dry);
         if val != truth {
             obs_local::bump(Counter::NetGossipStaleReads);
-            // How long has freshness been out of reach? Two clocks: rounds
-            // since the serving replica's last completed exchange
-            // (partition starvation), and rounds since the key's preferred
-            // home crashed (its unpropagated deltas are unreachable until
-            // it recovers).
-            let preferred = key.shard_index(self.nodes());
-            let dry = self.rounds.saturating_sub(self.last_success[home]);
-            let crashed_dry = if self.crashed[preferred] {
-                self.rounds.saturating_sub(self.crash_round[preferred])
-            } else {
-                0
-            };
-            let lag = dry.max(crashed_dry);
-            if lag > self.cfg.stale_horizon && self.last_degraded_round[home] != self.rounds {
-                self.last_degraded_round[home] = self.rounds;
-                obs_local::bump(Counter::NetQuorumLost);
-                self.pending.push(Degradation {
-                    kind: DegradationKind::AdviceStale,
-                    op: "read".to_string(),
-                    key,
-                    pid: me,
-                    time: now,
-                    tick: self.net.now(),
-                    answered: lag.min(usize::MAX as u64) as usize,
-                    needed: self.cfg.stale_horizon.min(usize::MAX as u64) as usize,
-                    nodes: self.nodes(),
-                    shard: self.cfg.net.shard,
-                });
+            if lag > self.cfg.stale_horizon {
+                if self.stale_since[preferred].is_none() {
+                    self.stale_since[preferred] = Some(self.net.now());
+                }
+                if self.last_degraded_round[home] != self.rounds {
+                    self.last_degraded_round[home] = self.rounds;
+                    obs_local::bump(Counter::NetQuorumLost);
+                    self.pending.push(Degradation {
+                        kind: DegradationKind::AdviceStale,
+                        op: "read".to_string(),
+                        key,
+                        pid: me,
+                        time: now,
+                        tick: self.net.now(),
+                        answered: lag.min(usize::MAX as u64) as usize,
+                        needed: self.cfg.stale_horizon.min(usize::MAX as u64) as usize,
+                        nodes: self.nodes(),
+                        shard: self.cfg.net.shard,
+                    });
+                }
+                return val;
             }
+        }
+        // Fresh again, or the lag dropped back under the horizon: a spell
+        // for this key's preferred home closes here. The check is at the
+        // read site (not at exchange success) because a crashed home's
+        // spell is served by a fallback whose exchanges stay healthy — only
+        // a read can witness that the advice is usable again.
+        if let Some(since) = self.stale_since[preferred].take() {
+            let tick = self.net.now();
+            let ttr = tick.saturating_sub(since);
+            obs_local::bump(Counter::NetDegradationsResolved);
+            obs_local::observe(HistKind::TimeToRecovery, ttr);
+            obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::DegradedSpell, dur: ttr });
+            self.resolved.push(Resolution {
+                kind: DegradationKind::AdviceStale,
+                key,
+                pid: me,
+                time: now,
+                degrade_tick: since,
+                resolve_tick: tick,
+                shard: self.cfg.net.shard,
+            });
         }
         val
     }
@@ -553,6 +589,10 @@ impl MemoryBackend for GossipBackend {
         std::mem::take(&mut self.pending)
     }
 
+    fn drain_resolutions(&mut self) -> Vec<Resolution> {
+        std::mem::take(&mut self.resolved)
+    }
+
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.view.fingerprint(&mut h);
         self.net.hash(&mut h);
@@ -581,7 +621,8 @@ impl MemoryBackend for GossipBackend {
         self.crashed.hash(&mut h);
         self.crash_round.hash(&mut h);
         self.last_degraded_round.hash(&mut h);
-        // `pending` is an observation stream — deliberately excluded.
+        // `pending`, `resolved` and `stale_since` are observation streams —
+        // deliberately excluded.
     }
 
     fn clone_backend(&self) -> Box<dyn MemoryBackend> {
@@ -776,10 +817,20 @@ mod tests {
         while g.runtime().now() < 400 {
             g.read(Pid(1), 1, key); // rounds advance the clock through the churn
         }
-        g.drain_degradations(); // the stale spell's reports, inspected elsewhere
+        assert!(!g.drain_degradations().is_empty(), "the churn degraded the key's advice");
         // Recovery re-merged the wiped home's own-origin deltas from the
         // write-ahead log: the preferred home serves fresh again.
         assert_eq!(g.read(Pid(1), 2, key), Value::Int(9));
+        // The first fresh read after the heal is the spell's resolved edge
+        // (it may land inside the churn loop's final iteration, whose round
+        // carries the clock across the recovery tick).
+        let resolved = g.drain_resolutions();
+        assert_eq!(resolved.len(), 1, "one spell, one resolution");
+        let r = &resolved[0];
+        assert_eq!((r.kind, r.key), (DegradationKind::AdviceStale, key));
+        assert!(r.degrade_tick < r.resolve_tick, "the spell has positive extent");
+        assert_eq!(r.time_to_recovery(), r.resolve_tick - r.degrade_tick);
+        assert!(g.drain_resolutions().is_empty(), "drain empties the stream");
         assert!(g.run_rounds_until_converged(3 * 3).is_some());
         assert!(g.causal_ok());
     }

@@ -121,6 +121,59 @@ impl fmt::Display for Degradation {
     }
 }
 
+/// The closing half of a degradation's lifecycle: the backend recovered the
+/// service it had degraded. Every [`Degradation`] spell eventually gets at
+/// most one matching `Resolution` — raised when the ABD circuit breaker's
+/// half-open probe finds a quorum again, or when a gossip replica's reads
+/// drop back inside the staleness horizon. Like degradations, resolutions
+/// are *observations*: drained by the executor after every step, excluded
+/// from fingerprints, and surfaced as `recoveries` in reports so soak runs
+/// can print MTTR (mean time to recovery) per fault class.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Resolution {
+    /// Which degradation flavour this resolves.
+    pub kind: DegradationKind,
+    /// The register whose operation observed the recovery.
+    pub key: RegKey,
+    /// The process whose operation observed the recovery.
+    pub pid: Pid,
+    /// The kernel's logical time when the recovery was observed.
+    pub time: u64,
+    /// The backend tick the degraded spell opened (its first degradation).
+    pub degrade_tick: u64,
+    /// The backend tick the spell closed (the successful probe completed).
+    pub resolve_tick: u64,
+    /// The replica group that recovered (`0` for unsharded backends).
+    pub shard: usize,
+}
+
+impl Resolution {
+    /// Backend ticks the degraded spell lasted — the MTTR sample this
+    /// resolution contributes to the `time_to_recovery` histogram.
+    pub fn time_to_recovery(&self) -> u64 {
+        self.resolve_tick.saturating_sub(self.degrade_tick)
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} resolved: key=[{}:{},{}] pid={} time={} ticks {}..{} (ttr={}) shard={}",
+            self.kind.name(),
+            self.key.ns,
+            self.key.ix[0],
+            self.key.ix[1],
+            self.pid.0,
+            self.time,
+            self.degrade_tick,
+            self.resolve_tick,
+            self.time_to_recovery(),
+            self.shard
+        )
+    }
+}
+
 /// An alternative substrate for the shared register file.
 ///
 /// Object-safe; the executor stores `Box<dyn MemoryBackend>` and the box is
@@ -157,6 +210,15 @@ pub trait MemoryBackend: Send + Sync {
     /// degradations are observations and must **not** be covered by
     /// [`MemoryBackend::fingerprint`].
     fn drain_degradations(&mut self) -> Vec<Degradation> {
+        Vec::new()
+    }
+
+    /// Drains the [`Resolution`]s recorded since the last call — the
+    /// degradation-resolved edges closing spells opened by
+    /// [`MemoryBackend::drain_degradations`]. Same discipline: observations
+    /// only, never covered by [`MemoryBackend::fingerprint`]; backends that
+    /// never degrade (the default) return nothing.
+    fn drain_resolutions(&mut self) -> Vec<Resolution> {
         Vec::new()
     }
 
@@ -275,6 +337,11 @@ impl MemoryBackend for ShardedBackend {
         // Group-index order keeps the drained sequence deterministic.
         self.shards.iter_mut().flat_map(|s| s.drain_degradations()).collect()
     }
+
+    fn drain_resolutions(&mut self) -> Vec<Resolution> {
+        // Same group-index order as the degradations they close.
+        self.shards.iter_mut().flat_map(|s| s.drain_resolutions()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -349,23 +416,34 @@ mod tests {
         assert_eq!(sharded.view().peek(keys[0]), Value::Int(0));
     }
 
-    /// A passthrough that raises a shard-tagged degradation on every write,
-    /// used to pin the cross-shard drain order.
+    /// A passthrough that raises a shard-tagged degradation on every write
+    /// (and a matching resolution on every read), used to pin the
+    /// cross-shard drain order for both lifecycle halves.
     #[derive(Clone, Debug)]
     struct Degrading {
         mem: SharedMemory,
         shard: usize,
         raised: Vec<Degradation>,
+        resolved: Vec<Resolution>,
     }
 
     impl Degrading {
         fn new(shard: usize) -> Degrading {
-            Degrading { mem: SharedMemory::new(), shard, raised: Vec::new() }
+            Degrading { mem: SharedMemory::new(), shard, raised: Vec::new(), resolved: Vec::new() }
         }
     }
 
     impl MemoryBackend for Degrading {
-        fn read(&mut self, _me: Pid, _now: u64, key: RegKey) -> Value {
+        fn read(&mut self, me: Pid, now: u64, key: RegKey) -> Value {
+            self.resolved.push(Resolution {
+                kind: DegradationKind::QuorumLost,
+                key,
+                pid: me,
+                time: now,
+                degrade_tick: now,
+                resolve_tick: now + 5,
+                shard: self.shard,
+            });
             self.mem.read(key)
         }
 
@@ -400,6 +478,10 @@ mod tests {
         fn drain_degradations(&mut self) -> Vec<Degradation> {
             std::mem::take(&mut self.raised)
         }
+
+        fn drain_resolutions(&mut self) -> Vec<Resolution> {
+            std::mem::take(&mut self.resolved)
+        }
     }
 
     #[test]
@@ -427,6 +509,21 @@ mod tests {
         assert!(drained.iter().all(|d| d.shard == b.shard_of(d.key)));
         // Drained means drained: a second call returns nothing.
         assert!(b.drain_degradations().is_empty());
+        // Resolutions drain in the same shard-index order, and each one
+        // reports its spell length.
+        for (t, s) in (0..shards).rev().enumerate() {
+            let k = key_for[s].expect("every group gets a key");
+            b.read(Pid(0), t as u64, k);
+        }
+        let resolved = b.drain_resolutions();
+        assert_eq!(resolved.len(), shards);
+        let order: Vec<usize> = resolved.iter().map(|r| r.shard).collect();
+        assert_eq!(order, vec![0, 1, 2], "resolution drain must be in shard-index order");
+        assert!(resolved.iter().all(|r| r.time_to_recovery() == 5));
+        assert!(b.drain_resolutions().is_empty());
+        let shown = resolved[0].to_string();
+        assert!(shown.starts_with("quorum-lost resolved:"), "{shown}");
+        assert!(shown.contains("ttr=5"), "{shown}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use wfa_obs::metrics::{Counter, MetricsHandle};
 use wfa_obs::span::{seq, EventKind, ObsEvent, Op};
 use wfa_obs::{local as obs_local};
 
-use crate::backend::{Degradation, MemoryBackend};
+use crate::backend::{Degradation, MemoryBackend, Resolution};
 use crate::memory::SharedMemory;
 use crate::process::{DynProcess, Status, StepCtx};
 use crate::trace::{Trace, TraceEvent};
@@ -105,6 +105,10 @@ pub struct Executor {
     /// step order. An observation stream like `trace` — excluded from
     /// [`Executor::fingerprint`].
     degradations: Vec<Degradation>,
+    /// Matching degradation-resolved records, in step order — the closing
+    /// half of the lifecycle `degradations` opens. Same discipline: an
+    /// observation stream excluded from [`Executor::fingerprint`].
+    resolutions: Vec<Resolution>,
     /// Observability sink; the default (disabled) handle costs one branch
     /// per step. Excluded from [`Executor::fingerprint`] — metrics are an
     /// observer, not run state.
@@ -169,6 +173,13 @@ impl Executor {
     /// the `None` shared-memory path).
     pub fn degradations(&self) -> &[Degradation] {
         &self.degradations
+    }
+
+    /// Degradation-resolved records the backend emitted during this run, in
+    /// step order. Each closes a degraded spell surfaced through
+    /// [`Executor::degradations`]; reports expose them as `recoveries`.
+    pub fn resolutions(&self) -> &[Resolution] {
+        &self.resolutions
     }
 
     /// Current status of process `pid`.
@@ -261,6 +272,10 @@ impl Executor {
                 let mut raised = b.drain_degradations();
                 if !raised.is_empty() {
                     self.degradations.append(&mut raised);
+                }
+                let mut resolved = b.drain_resolutions();
+                if !resolved.is_empty() {
+                    self.resolutions.append(&mut resolved);
                 }
             }
         } else {

@@ -50,7 +50,7 @@ pub mod value;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::backend::{Degradation, MemoryBackend, ShardedBackend};
+    pub use crate::backend::{Degradation, MemoryBackend, Resolution, ShardedBackend};
     pub use crate::executor::Executor;
     pub use crate::memory::{RegKey, SharedMemory};
     pub use crate::process::{DynProcess, Process, Status, StepCtx};

@@ -72,7 +72,7 @@
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use wfa_kernel::backend::{Degradation, DegradationKind, MemoryBackend, ShardedBackend};
+use wfa_kernel::backend::{Degradation, DegradationKind, MemoryBackend, Resolution, ShardedBackend};
 use wfa_kernel::memory::{RegKey, SharedMemory};
 use wfa_kernel::value::{Pid, Value};
 use wfa_obs::local as obs_local;
@@ -80,6 +80,7 @@ use wfa_obs::metrics::{Counter, HistKind};
 use wfa_obs::span::{seq, EventKind, SpanKind};
 
 use crate::config::{Durability, NetConfig, NetFault, ShardMap};
+use crate::retry::Breaker;
 use crate::runtime::NetRuntime;
 
 /// A write tag: `(sequence number, writer pid)`, ordered lexicographically.
@@ -180,15 +181,23 @@ pub struct AbdBackend {
     /// Replica recovered but its re-sync pull has not yet succeeded — the
     /// pull is retried at every maintenance point.
     unsynced: Vec<bool>,
-    /// A quorum-lost spell is in progress: ops serve the view and probe
-    /// with a single round until one finds a majority again.
-    degraded: bool,
+    /// The per-shard circuit breaker. Open while a quorum-lost spell is in
+    /// progress: ops serve the view and probe with a single half-open round
+    /// until one finds a majority again, which closes it.
+    breaker: Breaker,
+    /// The tick at which the current spell's first degradation was raised —
+    /// the anchor of the `time_to_recovery` sample emitted when the breaker
+    /// closes. Observation-only: excluded from the fingerprint.
+    spell_since: Option<u64>,
     /// Any spell ever happened — gates the lazy read repair and disarms
     /// the replicas-match-view self-check.
     ever_degraded: bool,
     /// Degradations raised but not yet drained by the executor. An
     /// observation stream like the trace: excluded from the fingerprint.
     pending: Vec<Degradation>,
+    /// Resolutions (spell-closing edges) not yet drained by the executor.
+    /// Observation stream, excluded from the fingerprint like `pending`.
+    resolved: Vec<Resolution>,
     /// Keys awaiting the next batched flush, in first-enqueue order
     /// (repeat accesses to a queued key dedupe). Empty when
     /// [`NetConfig::batch_max`] is 1.
@@ -229,9 +238,11 @@ impl AbdBackend {
             cursor: 0,
             serving_from: vec![0; nodes],
             unsynced: vec![false; nodes],
-            degraded: false,
+            breaker: Breaker::default(),
+            spell_since: None,
             ever_degraded: false,
             pending: Vec::new(),
+            resolved: Vec::new(),
             batch_keys: Vec::new(),
             batch_pid: 0,
             batch_time: 0,
@@ -246,9 +257,10 @@ impl AbdBackend {
         &self.net
     }
 
-    /// Whether the backend is currently in a quorum-lost spell.
+    /// Whether the backend is currently in a quorum-lost spell (the
+    /// circuit breaker is open).
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.breaker.is_open()
     }
 
     /// Applies every crash/recover event at or before tick `upto` and
@@ -294,6 +306,9 @@ impl AbdBackend {
                 self.unsynced[node] = true;
             }
         }
+        // Re-sync pulls run under the `RetryPolicy::unbounded()` regime: no
+        // budget and no extra backoff — maintenance points *are* the
+        // schedule, and a missed pull simply waits for the next one.
         for node in 0..self.net.config().nodes {
             if self.unsynced[node] {
                 self.resync(node, upto);
@@ -363,14 +378,15 @@ impl AbdBackend {
     fn phase(&mut self, op: &str, key: RegKey, me: Pid, time: u64) -> Result<(Vec<usize>, Vec<usize>, u64), ()> {
         let need = self.net.config().quorum();
         let start = self.net.now();
-        let max_rounds = if self.degraded { 0 } else { self.net.config().max_rounds };
+        // An open breaker caps the schedule at a single half-open probe.
+        let policy = self.net.retry().with_budget(self.breaker.budget(self.net.config().max_rounds));
         let mut answered = 0;
         let mut delivered: Vec<usize> = Vec::new();
-        for round in 0..=max_rounds {
+        for round in 0..=policy.budget {
             if round > 0 {
                 obs_local::bump(Counter::NetRetransmits);
             }
-            let sent = self.net.round_send_tick(start, round);
+            let sent = policy.send_tick(start, round);
             self.maintain(sent);
             let serving = self.serving_from.clone();
             let (acks, accepted) = self.net.round(sent, &serving);
@@ -383,12 +399,29 @@ impl AbdBackend {
                 let completion = acks[need - 1].0;
                 let responders = acks[..need].iter().map(|(_, n)| *n).collect();
                 self.net.advance_to(completion);
-                self.degraded = false;
+                if self.breaker.close() {
+                    // The half-open probe found its quorum: the spell is
+                    // over. Emit the resolved edge with its MTTR sample.
+                    let since = self.spell_since.take().unwrap_or(completion);
+                    let ttr = completion.saturating_sub(since);
+                    obs_local::bump(Counter::NetDegradationsResolved);
+                    obs_local::observe(HistKind::TimeToRecovery, ttr);
+                    obs_local::event(seq::NET, EventKind::Span { kind: SpanKind::DegradedSpell, dur: ttr });
+                    self.resolved.push(Resolution {
+                        kind: DegradationKind::QuorumLost,
+                        key,
+                        pid: me,
+                        time,
+                        degrade_tick: since,
+                        resolve_tick: completion,
+                        shard: self.net.config().shard,
+                    });
+                }
                 return Ok((responders, delivered, completion));
             }
             answered = acks.len();
         }
-        let horizon = self.net.round_send_tick(start, max_rounds) + self.net.config().round_span();
+        let horizon = policy.exhaustion_horizon(start);
         self.net.advance_to(horizon);
         if self.net.config().legacy_panic {
             panic!(
@@ -415,7 +448,10 @@ impl AbdBackend {
             nodes: self.net.config().nodes,
             shard: self.net.config().shard,
         });
-        self.degraded = true;
+        if self.spell_since.is_none() {
+            self.spell_since = Some(horizon);
+        }
+        self.breaker.trip();
         self.ever_degraded = true;
         Err(())
     }
@@ -643,6 +679,10 @@ impl MemoryBackend for AbdBackend {
         std::mem::take(&mut self.pending)
     }
 
+    fn drain_resolutions(&mut self) -> Vec<Resolution> {
+        std::mem::take(&mut self.resolved)
+    }
+
     fn fingerprint(&self, mut h: &mut dyn Hasher) {
         self.view.fingerprint(&mut h);
         self.net.hash(&mut h);
@@ -658,13 +698,14 @@ impl MemoryBackend for AbdBackend {
                 }
             }
         }
-        // Replica-failure machine state (`pending` is an observation
-        // stream, like the trace — deliberately excluded, as is
-        // `batch_time`, which only labels degradations).
+        // Replica-failure machine state (`pending`, `resolved` and
+        // `spell_since` are observation streams, like the trace —
+        // deliberately excluded, as is `batch_time`, which only labels
+        // degradations).
         self.cursor.hash(&mut h);
         self.serving_from.hash(&mut h);
         self.unsynced.hash(&mut h);
-        self.degraded.hash(&mut h);
+        self.breaker.is_open().hash(&mut h);
         self.ever_degraded.hash(&mut h);
         // The unflushed batch buffer affects every future flush.
         self.batch_keys.hash(&mut h);
@@ -777,20 +818,37 @@ mod tests {
         // first write degrades, follow-up ops probe (one round each) until
         // the heal lands, and the first post-heal read lazily converges
         // the replicas to the view.
+        let obs = MetricsHandle::counters();
         let cfg = NetConfig::new(3, 7)
             .with_fault(NetFault::Partition { at: 0, nodes: vec![0, 1] })
             .with_fault(NetFault::Heal { at: 100 });
         let mut abd = AbdBackend::new(cfg);
         let key = RegKey::new(0);
-        abd.write(Pid(0), 0, key, Value::Int(1));
-        assert!(abd.is_degraded());
-        let mut reads = 0;
-        while abd.is_degraded() {
-            assert_eq!(abd.read(Pid(1), 1, key), Value::Int(1), "view serves the spell");
-            reads += 1;
-            assert!(reads < 32, "probe never found the healed majority");
+        {
+            let _g = obs_local::enter(&obs, 0, 0);
+            abd.write(Pid(0), 0, key, Value::Int(1));
+            assert!(abd.is_degraded());
+            let mut reads = 0;
+            while abd.is_degraded() {
+                assert_eq!(abd.read(Pid(1), 1, key), Value::Int(1), "view serves the spell");
+                reads += 1;
+                assert!(reads < 32, "probe never found the healed majority");
+            }
         }
         assert!(!abd.drain_degradations().is_empty());
+        // The breaker-closing probe emitted exactly one resolved edge,
+        // with an MTTR sample spanning the whole spell.
+        let resolved = abd.drain_resolutions();
+        assert_eq!(resolved.len(), 1, "one spell, one resolution");
+        let r = &resolved[0];
+        assert_eq!(r.kind, DegradationKind::QuorumLost);
+        assert!(r.degrade_tick < r.resolve_tick, "the spell has positive extent");
+        assert!(r.resolve_tick >= 100, "only the heal can close the spell");
+        assert_eq!(r.time_to_recovery(), r.resolve_tick - r.degrade_tick);
+        assert!(abd.drain_resolutions().is_empty(), "drain empties the stream");
+        assert_eq!(obs.get(Counter::NetDegradationsResolved), 1);
+        let snap = obs.snapshot().unwrap();
+        assert!(snap.hists.iter().any(|(n, b)| n == "time_to_recovery" && !b.is_empty()));
         // The repair wrote the view's value back under a fresh tag.
         let (tag, val) = abd.collect_max(&[0, 1, 2], abd.dir[&key]);
         assert_eq!((val, tag.1), (Value::Int(1), 1), "repaired under the reader's tag");

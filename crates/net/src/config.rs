@@ -8,6 +8,8 @@
 
 use wfa_obs::json::Json;
 
+use crate::retry::RetryPolicy;
+
 /// A declarative network fault, timed in network ticks.
 ///
 /// Faults compose with the process-level `FaultPlan` of `wfa-faults`: a plan
@@ -329,17 +331,23 @@ impl NetConfig {
         self.nodes / 2 + 1
     }
 
+    /// The unified [`RetryPolicy`] this config implies: the single owner of
+    /// the backoff span, exponential schedule, and jitter draws (see
+    /// `crate::retry`). Every horizon below is derived from it.
+    pub fn retry(&self) -> RetryPolicy {
+        RetryPolicy::from_config(self)
+    }
+
     /// One broadcast round's worst-case round trip: request out, reply back.
     pub fn round_span(&self) -> u64 {
-        2 * self.max_delay + 1
+        self.retry().round_span()
     }
 
     /// Ticks after a quorum operation's anchor at which its final
     /// retransmission round is sent (exponential backoff: round `r` goes out
     /// `round_span · (2^r − 1)` ticks after the anchor, jitter excluded).
     pub fn final_round_offset(&self) -> u64 {
-        self.round_span()
-            .saturating_mul((1u64 << u64::from(self.max_rounds).min(32)) - 1)
+        self.retry().final_round_offset()
     }
 
     /// Static credit horizon for partitions: a partition healed within this
@@ -357,8 +365,8 @@ impl NetConfig {
     /// recovery and completed the re-sync pull — so the recovery must land
     /// by the second-to-last round, not the last.
     pub fn recovery_horizon(&self) -> u64 {
-        self.round_span()
-            .saturating_mul((1u64 << u64::from(self.max_rounds.saturating_sub(1)).min(32)) - 1)
+        self.retry()
+            .backoff(self.max_rounds.saturating_sub(1))
             .saturating_sub(2 * self.max_delay)
     }
 

@@ -64,11 +64,13 @@
 
 pub mod abd;
 pub mod config;
+pub mod retry;
 pub mod runtime;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::abd::AbdBackend;
     pub use crate::config::{majority_safe, NetConfig, NetFault};
+    pub use crate::retry::{Breaker, RetryPolicy};
     pub use crate::runtime::NetRuntime;
 }

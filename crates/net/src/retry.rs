@@ -1,0 +1,236 @@
+//! Unified retry/backoff policy for every retry loop in the system.
+//!
+//! Before this module, three subsystems hand-rolled their own retry
+//! arithmetic: ABD quorum retransmission (exponential backoff + jitter in
+//! the runtime), the re-sync barrier's retry-at-every-maintenance-point
+//! loop, and the gossip backend's crashed-home linear probing. Each carried
+//! its own copy of the span/backoff constants. [`RetryPolicy`] owns the
+//! shared schedule — seeded exponential backoff with deterministic jitter
+//! and a bounded retry budget — and [`Breaker`] formalizes the per-shard
+//! circuit breaker that used to be the anonymous `degraded: bool` inside
+//! `AbdBackend`: a tripped breaker caps the retry budget at a single
+//! half-open probe, and the first successful probe closes it again. That
+//! closing edge is the "degradation resolved" moment the MTTR pipeline
+//! (`DegradationResolved` events, `time_to_recovery` histograms) observes.
+//!
+//! The schedule is byte-identical to the pre-extraction arithmetic: round
+//! `r > 0` of an operation anchored at `start` goes out at
+//! `start + span·(2^r − 1) + jitter(seed, start, r)` where
+//! `span = 2·max_delay + 1` and the jitter is a splitmix64 draw in
+//! `[0, max_delay]`; round 0 goes out at the anchor itself, jitter-free.
+//! E14/E15/E18's pinned message counts certify the equivalence.
+
+use crate::config::NetConfig;
+use crate::runtime::mix;
+
+/// Seed salt folding the anchor tick into the jitter draw.
+const JITTER_START_SALT: u64 = 0xd1b5_4a32_d192_ed03;
+/// Seed salt folding the round number into the jitter draw.
+const JITTER_ROUND_SALT: u64 = 0x8cb9_2ba7_2f3d_8dd7;
+
+/// A deterministic retry schedule: seeded exponential backoff with jitter
+/// and a bounded budget. Pure arithmetic over `(seed, max_delay, budget)` —
+/// copyable, hashable, and free to rederive from a [`NetConfig`] wherever a
+/// retry decision is made.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RetryPolicy {
+    /// Seed for the per-(anchor, round) jitter draws.
+    pub seed: u64,
+    /// Maximum link delay in ticks; sets both the backoff span
+    /// (`2·max_delay + 1`) and the jitter range (`[0, max_delay]`).
+    pub max_delay: u64,
+    /// Retry budget: the highest round number attempted. `0` means a single
+    /// un-retried probe; [`RetryPolicy::UNBOUNDED`] means retry forever.
+    pub budget: u32,
+}
+
+impl RetryPolicy {
+    /// Budget value meaning "retry forever" (the re-sync barrier's regime:
+    /// a missed pull is retried at every later maintenance point).
+    pub const UNBOUNDED: u32 = u32::MAX;
+
+    /// The policy a [`NetConfig`] implies for quorum retransmission.
+    pub fn from_config(cfg: &NetConfig) -> RetryPolicy {
+        RetryPolicy { seed: cfg.seed, max_delay: cfg.max_delay, budget: cfg.max_rounds }
+    }
+
+    /// This policy with the budget replaced by [`RetryPolicy::UNBOUNDED`].
+    pub fn unbounded(mut self) -> RetryPolicy {
+        self.budget = RetryPolicy::UNBOUNDED;
+        self
+    }
+
+    /// This policy with the budget replaced by `budget`.
+    pub fn with_budget(mut self, budget: u32) -> RetryPolicy {
+        self.budget = budget;
+        self
+    }
+
+    /// One broadcast round's worst-case round trip: request out, reply back.
+    pub fn round_span(&self) -> u64 {
+        2 * self.max_delay + 1
+    }
+
+    /// Jitter-free backoff offset of round `round`: `span · (2^round − 1)`.
+    pub fn backoff(&self, round: u32) -> u64 {
+        self.round_span().saturating_mul((1u64 << u64::from(round).min(32)) - 1)
+    }
+
+    /// Deterministic jitter in `[0, max_delay]` for round `round` of an
+    /// operation anchored at `start`.
+    pub fn jitter(&self, start: u64, round: u32) -> u64 {
+        mix(self.seed
+            ^ start.wrapping_mul(JITTER_START_SALT)
+            ^ u64::from(round).wrapping_mul(JITTER_ROUND_SALT))
+            % (self.max_delay + 1)
+    }
+
+    /// The tick at which round `round` of an operation anchored at `start`
+    /// is sent. Round 0 goes out at the anchor itself; later rounds back
+    /// off exponentially with jitter so retransmissions from ops anchored
+    /// at the same tick do not stampede in lockstep.
+    pub fn send_tick(&self, start: u64, round: u32) -> u64 {
+        if round == 0 {
+            return start;
+        }
+        start + self.backoff(round) + self.jitter(start, round)
+    }
+
+    /// Whether attempt number `attempt` (0-based) is still within budget.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt <= self.budget
+    }
+
+    /// The tick at which an operation anchored at `start` is declared
+    /// failed: one full round trip past its final in-budget send.
+    pub fn exhaustion_horizon(&self, start: u64) -> u64 {
+        self.send_tick(start, self.budget) + self.round_span()
+    }
+
+    /// Ticks after the anchor at which the final in-budget round is sent,
+    /// jitter excluded (the constant behind the static credit horizons).
+    pub fn final_round_offset(&self) -> u64 {
+        self.backoff(self.budget)
+    }
+}
+
+/// Linear probing over a ring of `n` slots starting at `start`: the first
+/// slot (in ring order) that `healthy` accepts, or `start` itself when none
+/// is — the caller's degradation path owns that case. This is the gossip
+/// backend's crashed-home fallback rule, shared here so the probe order is
+/// defined once.
+pub fn probe_healthy(start: usize, n: usize, healthy: impl Fn(usize) -> bool) -> usize {
+    (0..n).map(|d| (start + d) % n).find(|r| healthy(*r)).unwrap_or(start)
+}
+
+/// A per-shard circuit breaker over a [`RetryPolicy`].
+///
+/// State machine (DESIGN.md §14):
+///
+/// - **Closed** (healthy): the full retry budget applies.
+/// - **Open** (tripped by a budget exhaustion): subsequent operations get a
+///   budget of 0 — a single un-retried *half-open probe* per operation, so
+///   a lost quorum costs one round span per op instead of the full
+///   exhaustion horizon.
+/// - A successful probe **closes** the breaker; [`Breaker::close`] reports
+///   whether it was open, which is exactly the degradation-resolved edge.
+///
+/// This is the formalization of the `degraded` flag the ABD backend carried
+/// since PR 5 — the observable schedule is unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Breaker {
+    open: bool,
+}
+
+impl Breaker {
+    /// Whether the breaker is tripped (operations run half-open probes).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The retry budget under the current state: `full` when closed, 0 (a
+    /// single half-open probe) when open.
+    pub fn budget(&self, full: u32) -> u32 {
+        if self.open {
+            0
+        } else {
+            full
+        }
+    }
+
+    /// Trips the breaker (a retry budget was exhausted).
+    pub fn trip(&mut self) {
+        self.open = true;
+    }
+
+    /// Records a success, closing the breaker. Returns `true` iff it was
+    /// open — the caller emits its `DegradationResolved` event on that
+    /// edge and nowhere else.
+    pub fn close(&mut self) -> bool {
+        std::mem::take(&mut self.open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_matches_the_pinned_backoff_arithmetic() {
+        // Defaults: span 9. Round r lands in [start + 9·(2^r − 1), +5).
+        let p = RetryPolicy::from_config(&NetConfig::new(5, 42));
+        assert_eq!(p.round_span(), 9);
+        assert_eq!(p.send_tick(100, 0), 100, "round 0 is jitter-free");
+        let mut prev = 100;
+        for r in 1..=3u32 {
+            let at = p.send_tick(100, r);
+            let base = 100 + 9 * ((1u64 << r) - 1);
+            assert!(at >= base && at < base + 5, "round {r} at {at}, base {base}");
+            assert!(at > prev, "send ticks are strictly ordered");
+            prev = at;
+        }
+        assert_eq!(p.final_round_offset(), 63, "9·(2³−1)");
+        assert_eq!(p.exhaustion_horizon(100), p.send_tick(100, 3) + 9);
+    }
+
+    #[test]
+    fn jitter_depends_on_anchor_and_round() {
+        let p = RetryPolicy::from_config(&NetConfig::new(3, 7));
+        let draws: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|s| p.jitter(s * 17, 1)).collect();
+        assert!(draws.len() > 1, "anchors must decorrelate retransmissions");
+        assert!(draws.iter().all(|j| *j <= p.max_delay), "jitter stays in [0, max_delay]");
+    }
+
+    #[test]
+    fn budgets_and_unbounded_retries() {
+        let p = RetryPolicy::from_config(&NetConfig::new(3, 0));
+        assert!(p.should_retry(0) && p.should_retry(3));
+        assert!(!p.should_retry(4), "budget 3 means rounds 0..=3");
+        let forever = p.unbounded();
+        assert!(forever.should_retry(u32::MAX), "the re-sync regime never gives up");
+        assert_eq!(p.with_budget(0).budget, 0);
+    }
+
+    #[test]
+    fn probe_wraps_and_falls_back_to_start() {
+        let crashed = [true, false, true];
+        assert_eq!(probe_healthy(0, 3, |r| !crashed[r]), 1);
+        assert_eq!(probe_healthy(2, 3, |r| !crashed[r]), 1, "probing wraps the ring");
+        assert_eq!(probe_healthy(1, 3, |_| false), 1, "no healthy slot: the start answers");
+    }
+
+    #[test]
+    fn breaker_trips_to_half_open_probes_and_closes_on_success() {
+        let mut b = Breaker::default();
+        assert!(!b.is_open());
+        assert_eq!(b.budget(3), 3, "closed: full budget");
+        assert!(!b.close(), "closing a closed breaker is not a recovery");
+        b.trip();
+        assert!(b.is_open());
+        assert_eq!(b.budget(3), 0, "open: one half-open probe, no retries");
+        assert!(b.close(), "the first successful probe is the resolved edge");
+        assert!(!b.is_open());
+        assert_eq!(b.budget(3), 3);
+    }
+}

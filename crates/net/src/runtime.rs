@@ -30,6 +30,7 @@ use wfa_obs::metrics::Counter;
 use wfa_obs::span::{seq, EventKind, SpanKind};
 
 use crate::config::{NetConfig, NetFault};
+use crate::retry::RetryPolicy;
 
 /// SplitMix64 finalizer — the statistically solid 64-bit mixer used to
 /// derive per-message delays from `(seed, message counter)` without storing
@@ -240,22 +241,19 @@ impl NetRuntime {
         Some(arrive)
     }
 
+    /// The unified [`RetryPolicy`] this runtime's config implies: the
+    /// single owner of the backoff span, exponential schedule, and jitter
+    /// draws every retry loop in the system shares.
+    pub fn retry(&self) -> RetryPolicy {
+        RetryPolicy::from_config(&self.cfg)
+    }
+
     /// Send tick of retransmission round `round` of an operation anchored at
-    /// `start`: exponential backoff (`round_span · (2^round − 1)`) plus a
-    /// seeded, stateless jitter draw — like the delay model, nothing is
-    /// stored. Round 0 is the original broadcast, sent at the anchor.
+    /// `start` — delegated to the shared [`RetryPolicy`] schedule
+    /// (exponential backoff plus a seeded, stateless jitter draw; round 0 is
+    /// the original broadcast, sent at the anchor).
     pub fn round_send_tick(&self, start: u64, round: u32) -> u64 {
-        if round == 0 {
-            return start;
-        }
-        let span = 2 * self.cfg.max_delay + 1;
-        let backoff = span.saturating_mul((1u64 << u64::from(round).min(32)) - 1);
-        let jitter = mix(
-            self.cfg.seed
-                ^ start.wrapping_mul(0xd1b5_4a32_d192_ed03)
-                ^ u64::from(round).wrapping_mul(0x8cb9_2ba7_2f3d_8dd7),
-        ) % (self.cfg.max_delay + 1);
-        start + backoff + jitter
+        self.retry().send_tick(start, round)
     }
 
     /// Advances the network clock (monotonically) to `t` — the caller drives
@@ -330,7 +328,7 @@ impl NetRuntime {
             }
             answered = acks.len();
         }
-        self.now = self.round_send_tick(start, self.cfg.max_rounds) + 2 * self.cfg.max_delay + 1;
+        self.now = self.retry().exhaustion_horizon(start);
         Err(answered)
     }
 

@@ -107,6 +107,10 @@ pub enum Counter {
     /// Quorum operations that exhausted their retransmission horizon and
     /// degraded to the linearized local view.
     NetQuorumLost,
+    /// Degraded spells that closed: a circuit breaker's half-open probe
+    /// found its quorum again, or a stale gossip replica's reads returned
+    /// inside the staleness horizon (each emits one `Resolution`).
+    NetDegradationsResolved,
     /// Register operations absorbed into a batch buffer instead of paying
     /// their own quorum round (batched ABD, `batch_max > 1`).
     NetBatchedOps,
@@ -157,7 +161,7 @@ pub enum Counter {
 }
 
 /// All counters, in canonical export order.
-pub const COUNTERS: [Counter; 53] = [
+pub const COUNTERS: [Counter; 54] = [
     Counter::ScheduleSlots,
     Counter::EffectiveSteps,
     Counter::NullSteps,
@@ -193,6 +197,7 @@ pub const COUNTERS: [Counter; 53] = [
     Counter::NetResyncMsgs,
     Counter::NetReadbackSkips,
     Counter::NetQuorumLost,
+    Counter::NetDegradationsResolved,
     Counter::NetBatchedOps,
     Counter::NetBatchRounds,
     Counter::NetShard0Msgs,
@@ -252,6 +257,7 @@ impl Counter {
             Counter::NetResyncMsgs => "net_resync_msgs",
             Counter::NetReadbackSkips => "net_readback_skips",
             Counter::NetQuorumLost => "net_quorum_lost",
+            Counter::NetDegradationsResolved => "net_degradations_resolved",
             Counter::NetBatchedOps => "net_batched_ops",
             Counter::NetBatchRounds => "net_batch_rounds",
             Counter::NetShard0Msgs => "net_shard0_msgs",
@@ -307,11 +313,19 @@ pub enum HistKind {
     QuorumLatency,
     /// Number of register ops carried by each flushed batched quorum round.
     NetBatchSize,
+    /// Backend ticks each degraded spell lasted, observed at its
+    /// resolution — the MTTR distribution soak reports aggregate.
+    TimeToRecovery,
 }
 
 /// All histograms, in canonical export order.
-pub const HISTS: [HistKind; 4] =
-    [HistKind::PlanCost, HistKind::ShardDepth, HistKind::QuorumLatency, HistKind::NetBatchSize];
+pub const HISTS: [HistKind; 5] = [
+    HistKind::PlanCost,
+    HistKind::ShardDepth,
+    HistKind::QuorumLatency,
+    HistKind::NetBatchSize,
+    HistKind::TimeToRecovery,
+];
 
 /// Buckets per histogram: bucket `i` holds values whose bit length is `i`
 /// (bucket 0 is exactly the value 0), so the largest `u64` lands in 64.
@@ -325,6 +339,7 @@ impl HistKind {
             HistKind::ShardDepth => "shard_depth",
             HistKind::QuorumLatency => "quorum_latency",
             HistKind::NetBatchSize => "net_batch_size",
+            HistKind::TimeToRecovery => "time_to_recovery",
         }
     }
 

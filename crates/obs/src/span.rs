@@ -95,6 +95,10 @@ pub enum SpanKind {
     /// sweep of pairwise digest/delta exchanges (duration = simulated
     /// network time the round's exchanges consumed).
     AntiEntropy,
+    /// One complete degraded spell, emitted at its resolution (duration =
+    /// backend ticks from the spell's first degradation to the successful
+    /// probe that closed it — the MTTR sample).
+    DegradedSpell,
 }
 
 impl SpanKind {
@@ -110,6 +114,7 @@ impl SpanKind {
             SpanKind::Channel => "channel",
             SpanKind::ReplicaResync => "replica_resync",
             SpanKind::AntiEntropy => "anti_entropy",
+            SpanKind::DegradedSpell => "degraded_spell",
         }
     }
 }

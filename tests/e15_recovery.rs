@@ -22,6 +22,7 @@
 use wfa::algorithms::set_agreement::{SetAgreementC, SetAgreementS};
 use wfa::core::harness::EfdRun;
 use wfa::fd::detectors::FdGen;
+use wfa::kernel::backend::Resolution;
 use wfa::kernel::process::DynProcess;
 use wfa::kernel::value::Value;
 use wfa::net::abd::AbdBackend;
@@ -36,6 +37,16 @@ fn ksa_run(
     obs: &MetricsHandle,
     net: Option<NetConfig>,
 ) -> (Option<u64>, Vec<Value>, usize) {
+    let (slots, outputs, degradations, _) = ksa_run_lifecycle(obs, net);
+    (slots, outputs, degradations)
+}
+
+/// [`ksa_run`] plus the resolved-degradation stream the executor drained —
+/// the closing half of the degrade → recover lifecycle.
+fn ksa_run_lifecycle(
+    obs: &MetricsHandle,
+    net: Option<NetConfig>,
+) -> (Option<u64>, Vec<Value>, usize, Vec<Resolution>) {
     let (n, k, stab, seed) = (4usize, 2u32, 200u64, 7u64);
     let pattern = wfa::fd::environment::Environment::up_to(n, 1).sample(seed, stab);
     let fd = FdGen::vector_omega_k(pattern, k as usize, stab, seed);
@@ -56,7 +67,8 @@ fn ksa_run(
     let slots = run.run_until_decided(&mut sched, 5_000_000);
     let outputs = run.executor.output_vector();
     let degradations = run.executor.degradations().len();
-    (slots, outputs, degradations)
+    let resolutions = run.executor.resolutions().to_vec();
+    (slots, outputs, degradations, resolutions)
 }
 
 /// The CLI's `--backend net` config for the default ksa run.
@@ -154,6 +166,61 @@ fn e15_majority_loss_degrades_without_panicking() {
         "every degradation is counted"
     );
     assert!(snap.counter("net_retransmits").unwrap_or(0) > 0, "the backend retried first");
+}
+
+#[test]
+fn e15_crash_recover_run_has_no_false_recovery_samples() {
+    // The crash@50/recover@90 run never loses its quorum, so the
+    // degradation lifecycle must stay entirely empty: no spell ever opens,
+    // hence nothing ever resolves and the MTTR histogram records nothing.
+    // A sample appearing here would be a fabricated recovery.
+    let obs = MetricsHandle::counters();
+    let (slots, _, degradations, resolutions) =
+        ksa_run_lifecycle(&obs, Some(crash_recover_cfg(Durability::Volatile)));
+    assert_eq!(slots, Some(320));
+    assert_eq!(degradations, 0);
+    assert!(resolutions.is_empty(), "no spell opened, none may close: {resolutions:?}");
+    let snap = obs.snapshot().expect("metrics enabled");
+    assert_eq!(snap.counter("net_degradations_resolved"), Some(0));
+    assert!(
+        !snap.hists.iter().any(|(name, buckets)| name == "time_to_recovery"
+            && buckets.iter().any(|(_, count)| *count > 0)),
+        "the MTTR histogram must be empty"
+    );
+}
+
+#[test]
+fn e15_healed_majority_partition_yields_a_pinned_recovery() {
+    // Degrade *and* recover: a majority-breaking partition opens a
+    // quorum-lost spell (the circuit breaker trips), the heal lets the
+    // half-open probe succeed, and the breaker closes with a `Resolution`
+    // whose span is pinned — tick-exact, thread-invariant, and equal to
+    // the MTTR sample the histogram records.
+    let mut cfg = net_cfg();
+    cfg.faults =
+        vec![NetFault::Partition { at: 0, nodes: vec![0, 1, 2] }, NetFault::Heal { at: 2_000 }];
+    let obs = MetricsHandle::counters();
+    let (slots, out, degradations, resolutions) = ksa_run_lifecycle(&obs, Some(cfg));
+    let (_, out_shm, _) = ksa_run(&MetricsHandle::disabled(), None);
+    assert_eq!(slots, Some(320), "the healed run still decides on schedule");
+    assert_eq!(out, out_shm, "degraded service still serves the linearized view");
+    assert!(degradations > 0, "the partition must trip the breaker first");
+    let snap = obs.snapshot().expect("metrics enabled");
+    assert_eq!(
+        snap.counter("net_degradations_resolved"),
+        Some(resolutions.len() as u64),
+        "every resolution is counted"
+    );
+    let r = resolutions.first().expect("the heal must close the spell");
+    assert_eq!(
+        (r.degrade_tick, r.resolve_tick, r.time_to_recovery()),
+        (75, 2_007, 1_932),
+        "the recovery span is pinned"
+    );
+    for r in &resolutions {
+        assert!(r.degrade_tick < r.resolve_tick, "spells have positive extent: {r}");
+        assert!(r.resolve_tick >= 2_000, "nothing can resolve before the heal: {r}");
+    }
 }
 
 #[test]

@@ -27,7 +27,7 @@ use wfa::core::harness::EfdRun;
 use wfa::fd::detectors::FdGen;
 use wfa::gossip::backend::GossipBackend;
 use wfa::gossip::config::GossipConfig;
-use wfa::kernel::backend::MemoryBackend;
+use wfa::kernel::backend::{DegradationKind, MemoryBackend};
 use wfa::kernel::executor::Executor;
 use wfa::kernel::memory::RegKey;
 use wfa::kernel::prelude::{run_schedule, KConcurrent, NullEnv};
@@ -232,10 +232,63 @@ fn e18_churn_plan_counters_are_pinned() {
         ("net_msgs_sent", 2042),
         ("net_msgs_delivered", 2040),
         ("net_msgs_dropped", 2),
+        // No stale spell ever opens under this mild churn, so the
+        // degradation lifecycle must stay empty end to end — a nonzero
+        // count here is a fabricated recovery.
+        ("net_degradations_resolved", 0),
     ];
     for (name, want) in pins {
         assert_eq!(snap.counter(name), Some(want), "counter {name}");
     }
+}
+
+/// The preferred home replica of `RegKey::new(11).at(0, i)` — the key
+/// family [`drive_ops`] cycles over.
+fn home_of(i: u32, n: usize) -> usize {
+    RegKey::new(11).at(0, i).shard_index(n)
+}
+
+#[test]
+fn e18_stranded_home_opens_and_closes_a_pinned_stale_spell() {
+    // The composed stale-advice scenario the chaos soak draws: partition a
+    // home so fresh deltas jam inside it, crash it (the jammed deltas are
+    // now unreachable), heal the fabric, and let the fallback serve stale
+    // advice past the horizon. The spell must open (AdviceStale), then
+    // close at the first fresh read after recovery — with tick-exact,
+    // thread-invariant `degrade_tick`/`resolve_tick`/MTTR pins.
+    let n = 4usize;
+    // Pick the home of key index 0 so the jammed writes are on the cycle.
+    let h = home_of(0, n);
+    let mut net = NetConfig::new(n, 7 ^ 0x7e7);
+    net.faults = vec![
+        NetFault::Partition { at: 40, nodes: vec![h] },
+        NetFault::CrashReplica { at: 400, node: h },
+        NetFault::Heal { at: 401 },
+        NetFault::RecoverReplica { at: 1_200, node: h },
+    ];
+    let mut g = GossipBackend::new(GossipConfig { net, ..GossipConfig::new(n, 7 ^ 0x7e7) });
+    drive_ops(&mut g, 1_600);
+    let degraded = g.drain_degradations();
+    assert!(!degraded.is_empty(), "the stranded home must degrade past the horizon");
+    assert!(degraded.iter().all(|d| d.kind == DegradationKind::AdviceStale));
+    // Two spells, both resolved, tick-exact. The first closes *mid-crash*:
+    // the op mix keeps writing the stranded keys, and the first such write
+    // lands at the fallback, whose advice is thereby fresh again. The
+    // second opens at the recovery tick itself — the home serves again but
+    // lags behind the writes it slept through — and closes once
+    // anti-entropy catches it up.
+    let resolved = g.drain_resolutions();
+    let spans: Vec<(u64, u64, u64)> =
+        resolved.iter().map(|r| (r.degrade_tick, r.resolve_tick, r.time_to_recovery())).collect();
+    assert_eq!(
+        spans,
+        vec![(476, 675, 199), (1_200, 1_386, 186)],
+        "the stale spells' spans are pinned"
+    );
+    assert!(resolved.iter().all(|r| r.kind == DegradationKind::AdviceStale));
+    // The cluster still converges and replays causally after the churn.
+    assert!(g.run_rounds_until_converged(3 * n as u64).is_some());
+    assert!(g.causal_ok());
 }
 
 #[test]
